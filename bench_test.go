@@ -1,0 +1,227 @@
+// Benchmarks that regenerate the paper's tables and figures through the
+// testing.B interface. Each benchmark mirrors one experiment from
+// DESIGN.md §4; `go test -bench=. -benchmem` prints the measured series as
+// custom metrics (kres/s — thousands of name resolutions per second of
+// simulated time — and speedup ratios).
+//
+// These use reduced sweeps so the whole suite completes in minutes; the
+// full-resolution tables come from `go run ./cmd/o2bench all`.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// benchFig4Config is a three-point sweep through the regions that define
+// Figure 4's shape: lock-bound left edge, CoreTime's sweet spot, and the
+// over-capacity right edge.
+func benchFig4Config() bench.Fig4Config {
+	cfg := bench.QuickFig4Config()
+	cfg.DirCounts = []int{8, 224, 640}
+	return cfg
+}
+
+// BenchmarkFig4aUniform regenerates Figure 4(a): file system throughput
+// under uniform directory popularity, with and without CoreTime.
+func BenchmarkFig4aUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig4a(benchFig4Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.BaseKRes, "kres_base_"+kbLabel(r.DataKB))
+			b.ReportMetric(r.CTKRes, "kres_ct_"+kbLabel(r.DataKB))
+		}
+		// The paper's headline: 2–3× in the mid range.
+		b.ReportMetric(rows[1].Speedup, "speedup_mid")
+	}
+}
+
+// BenchmarkFig4bOscillate regenerates Figure 4(b): oscillating directory
+// popularity, exercising the monitor's rebalancing.
+func BenchmarkFig4bOscillate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchFig4Config()
+		cfg.DirCounts = []int{224}
+		rows, err := bench.Fig4b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].BaseKRes, "kres_base")
+		b.ReportMetric(rows[0].CTKRes, "kres_ct")
+		b.ReportMetric(rows[0].Speedup, "speedup")
+	}
+}
+
+// BenchmarkFig2CacheContents regenerates Figure 2: cache duplication under
+// thread scheduling versus O2 scheduling.
+func BenchmarkFig2CacheContents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, o2, err := bench.Fig2(bench.DefaultFig2Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(base.Duplication, "dup_thread_sched")
+		b.ReportMetric(o2.Duplication, "dup_o2_sched")
+		b.ReportMetric(float64(base.DistinctOnChip), "onchip_thread_sched")
+		b.ReportMetric(float64(o2.DistinctOnChip), "onchip_o2_sched")
+	}
+}
+
+// BenchmarkLatencyTable regenerates the §5 memory latency table.
+func BenchmarkLatencyTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.LatencyTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Paper != 0 {
+				b.ReportMetric(float64(r.Measured), "cyc_"+metricName(r.Name))
+			}
+		}
+	}
+}
+
+// BenchmarkMigrationCost regenerates the §5 migration measurement
+// (paper: 2000 cycles).
+func BenchmarkMigrationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.MigrationCost(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanCycles, "cycles/migration")
+	}
+}
+
+// BenchmarkAblationClustering measures the §6.2 object-clustering
+// extension.
+func BenchmarkAblationClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationClustering()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].KOps, "kops_off")
+		b.ReportMetric(rows[1].KOps, "kops_on")
+	}
+}
+
+// BenchmarkAblationReplication measures the §6.2 read-only replication
+// extension.
+func BenchmarkAblationReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationReplication()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].KOps, "kops_off")
+		b.ReportMetric(rows[1].KOps, "kops_on")
+	}
+}
+
+// BenchmarkAblationReplacement measures the §6.2 over-capacity replacement
+// policy.
+func BenchmarkAblationReplacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationReplacement()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].KOps, "kres_firstfit")
+		b.ReportMetric(rows[1].KOps, "kres_frequency")
+	}
+}
+
+// BenchmarkAblationMigrationCost sweeps the migration cost (§6.1, active
+// messages).
+func BenchmarkAblationMigrationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationMigrationCost()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].KOps, "kres_cost0")
+		b.ReportMetric(rows[len(rows)-1].KOps, "kres_cost8000")
+	}
+}
+
+// BenchmarkAblationHeterogeneous measures CoreTime on a machine with half
+// the cores at half speed (§6.1).
+func BenchmarkAblationHeterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationHeterogeneous()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].KOps, "kres_base")
+		b.ReportMetric(rows[1].KOps, "kres_ct")
+	}
+}
+
+// BenchmarkDirLookupBaseline and BenchmarkDirLookupCoreTime are
+// single-point microbenchmarks of the workload engine itself, useful for
+// profiling the simulator.
+func BenchmarkDirLookupBaseline(b *testing.B) {
+	benchDirLookup(b, false)
+}
+
+// BenchmarkDirLookupCoreTime is the CoreTime counterpart of
+// BenchmarkDirLookupBaseline.
+func BenchmarkDirLookupCoreTime(b *testing.B) {
+	benchDirLookup(b, true)
+}
+
+func benchDirLookup(b *testing.B, coretime bool) {
+	spec := workload.DirSpec{Dirs: 8, EntriesPerDir: 512}
+	p := workload.DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = 800_000
+	p.Measure = 1_600_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ann sched.Annotator = sched.ThreadScheduler{}
+		if coretime {
+			ann = core.New(env.Sys, core.DefaultOptions())
+		}
+		res := workload.RunDirLookup(env, ann, p)
+		b.ReportMetric(res.KResPerSec, "kres/s")
+	}
+}
+
+func kbLabel(kb float64) string {
+	switch {
+	case kb < 1024:
+		return "small"
+	case kb < 10240:
+		return "mid"
+	default:
+		return "large"
+	}
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r >= 'A' && r <= 'Z':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

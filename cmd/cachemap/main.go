@@ -1,0 +1,39 @@
+// Command cachemap reproduces Figure 2 of the paper: the cache contents of
+// the directory-lookup workload under a traditional thread scheduler and
+// under the O2 scheduler, rendered as per-core/per-chip occupancy maps.
+//
+//	cachemap [-dirs N] [-entries N] [-threads N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	dirs := flag.Int("dirs", 20, "number of directories (the paper's Fig. 2 shows 20)")
+	entries := flag.Int("entries", 128, "entries per directory (32 bytes each)")
+	threads := flag.Int("threads", 8, "worker threads")
+	seed := flag.Uint64("seed", 1, "workload RNG seed")
+	flag.Parse()
+
+	cfg := bench.DefaultFig2Config()
+	cfg.Dirs = *dirs
+	cfg.EntriesPerDir = *entries
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+
+	base, o2, err := bench.Fig2(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cachemap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# Figure 2: cache contents, %d directories × %d entries on %s\n\n",
+		cfg.Dirs, cfg.EntriesPerDir, cfg.Machine.Name)
+	bench.WriteCacheMap(os.Stdout, cfg.Machine, base)
+	fmt.Println()
+	bench.WriteCacheMap(os.Stdout, cfg.Machine, o2)
+}

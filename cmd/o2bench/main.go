@@ -1,0 +1,213 @@
+// Command o2bench regenerates the figures and tables of "Reinventing
+// Scheduling for Multicore Systems" (HotOS 2009) on the simulated AMD16
+// machine, plus the ablations of the design extensions from §6.
+//
+// Usage:
+//
+//	o2bench fig4a [-quick] [-seed N]    Figure 4(a): uniform popularity
+//	o2bench fig4b [-quick] [-seed N]    Figure 4(b): oscillating popularity
+//	o2bench fig2                        Figure 2: cache contents maps
+//	o2bench latency                     §5 latency table
+//	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
+//	o2bench ablation -exp=NAME          clustering|replication|replacement|
+//	                                    migcost|hetero|paths|single|all
+//	o2bench all [-quick]                everything above
+//
+// All output goes to stdout as aligned text tables; simulation progress is
+// reported on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig4a":
+		err = runFig4(args, true)
+	case "fig4b":
+		err = runFig4(args, false)
+	case "fig2", "cachemap":
+		err = runFig2(args)
+	case "latency":
+		err = runLatency()
+	case "migration":
+		err = runMigration(args)
+	case "ablation":
+		err = runAblation(args)
+	case "all":
+		err = runAll(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "o2bench: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "o2bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `o2bench — reproduce the paper's evaluation
+
+  o2bench fig4a [-quick] [-seed N]   Figure 4(a): uniform directory popularity
+  o2bench fig4b [-quick] [-seed N]   Figure 4(b): oscillating popularity
+  o2bench fig2                       Figure 2: cache-contents maps
+  o2bench latency                    hardware latency table (§5)
+  o2bench migration [-trials N]      migration cost microbenchmark (§5)
+  o2bench ablation -exp=NAME         clustering|replication|replacement|migcost|hetero|paths|single|all
+  o2bench all [-quick]               run everything
+`)
+}
+
+func fig4Flags(args []string) (bench.Fig4Config, bool, error) {
+	fs := flag.NewFlagSet("fig4", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sweep (fewer points, shorter windows)")
+	seed := fs.Uint64("seed", 1, "workload RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return bench.Fig4Config{}, false, err
+	}
+	cfg := bench.DefaultFig4Config()
+	if *quick {
+		cfg = bench.QuickFig4Config()
+	}
+	cfg.Params.Seed = *seed
+	cfg.Progress = os.Stderr
+	return cfg, *csv, nil
+}
+
+func runFig4(args []string, uniform bool) error {
+	cfg, csv, err := fig4Flags(args)
+	if err != nil {
+		return err
+	}
+	title := "Figure 4(b): file system results, oscillated directory popularity"
+	runner := bench.Fig4b
+	if uniform {
+		title = "Figure 4(a): file system results, uniform directory popularity"
+		runner = bench.Fig4a
+	}
+	rows, err := runner(cfg)
+	if err != nil {
+		return err
+	}
+	if csv {
+		bench.WriteFig4CSV(os.Stdout, rows)
+		return nil
+	}
+	bench.WriteFig4Table(os.Stdout, title, rows)
+	return nil
+}
+
+func runFig2(args []string) error {
+	cfg := bench.DefaultFig2Config()
+	base, o2, err := bench.Fig2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 2: cache contents for the directory-lookup workload")
+	bench.WriteCacheMap(os.Stdout, cfg.Machine, base)
+	fmt.Println()
+	bench.WriteCacheMap(os.Stdout, cfg.Machine, o2)
+	return nil
+}
+
+func runLatency() error {
+	rows, err := bench.LatencyTable()
+	if err != nil {
+		return err
+	}
+	bench.WriteLatencyTable(os.Stdout, rows)
+	return nil
+}
+
+func runMigration(args []string) error {
+	fs := flag.NewFlagSet("migration", flag.ContinueOnError)
+	trials := fs.Int("trials", 128, "migration round trips to average")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := bench.MigrationCost(*trials)
+	if err != nil {
+		return err
+	}
+	bench.WriteMigrationResult(os.Stdout, r)
+	return nil
+}
+
+func runAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "clustering|replication|replacement|migcost|hetero|paths|single|all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type abl struct {
+		name  string
+		title string
+		run   func() ([]bench.AblationRow, error)
+	}
+	all := []abl{
+		{"clustering", "A1: object clustering (§6.2)", bench.AblationClustering},
+		{"replication", "A2: read-only replication (§6.2)", bench.AblationReplication},
+		{"replacement", "A3: over-capacity replacement policy (§6.2)", bench.AblationReplacement},
+		{"migcost", "A4: migration-cost sensitivity (§6.1)", bench.AblationMigrationCost},
+		{"hetero", "A5: heterogeneous cores (§6.1)", bench.AblationHeterogeneous},
+		{"paths", "A6: clustering on hierarchical path resolution (§6.2)", bench.AblationPathClustering},
+		{"single", "A7: single-threaded application using the whole chip's caches (§1)", bench.AblationSingleThread},
+	}
+	ran := false
+	for _, a := range all {
+		if *exp != "all" && *exp != a.name {
+			continue
+		}
+		rows, err := a.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		bench.WriteAblation(os.Stdout, a.title, rows)
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown ablation %q", *exp)
+	}
+	return nil
+}
+
+func runAll(args []string) error {
+	if err := runLatency(); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runMigration(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig2(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig4(args, true); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig4(args, false); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runAblation([]string{"-exp=all"})
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Reinventing
+// Scheduling for Multicore Systems" (Boyd-Wickizer, Morris, Kaashoek;
+// HotOS XII, 2009): the O2 scheduling model and the CoreTime runtime,
+// evaluated on a simulated 16-core AMD machine.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/o2bench regenerates every figure and table of the
+// paper's evaluation, and bench_test.go exposes the same experiments as
+// testing.B benchmarks.
+package repro

@@ -1,0 +1,185 @@
+// Kvstore: O2 scheduling beyond the file system. A sharded in-memory
+// key-value store runs on the simulated machine: each shard (a hash-bucket
+// region) is a CoreTime object; point reads, range scans, and writes are
+// operations.
+//
+// The workload mixes two access patterns that pull CoreTime in opposite
+// directions:
+//
+//   - range scans read a whole shard: placement wins (scan the shard where
+//     it is cached instead of pulling it through the interconnect);
+//   - point reads hammer one hot shard: placement loses (every read
+//     funnels through one core), and the §6.2 read-only replication
+//     extension resolves the tension by giving each chip its own copy.
+//
+// Run with:
+//
+//	go run ./examples/kvstore [-shards N] [-hot 0.6] [-scans 0.4] [-puts 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+const (
+	shardBytes = 8 << 10 // 128 slots × 64 B
+	slotBytes  = 64
+)
+
+// store is a toy sharded hash map living in simulated memory. Keys are
+// uint64; each shard is a contiguous array of 64-byte slots registered as
+// one CoreTime object.
+type store struct {
+	m      *machine.Machine
+	shards []*mem.Object
+}
+
+func newStore(m *machine.Machine, shards int) (*store, error) {
+	s := &store{m: m}
+	for i := 0; i < shards; i++ {
+		obj, err := m.Image().AllocObject(fmt.Sprintf("shard%02d", i), shardBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, obj)
+	}
+	return s, nil
+}
+
+func (s *store) shardOf(key uint64) *mem.Object {
+	return s.shards[int(key%uint64(len(s.shards)))]
+}
+
+// slotAddr picks the slot within the shard by open addressing on the key.
+func (s *store) slotAddr(obj *mem.Object, key uint64) mem.Addr {
+	slots := uint64(obj.Size / slotBytes)
+	return obj.Base + mem.Addr((key/uint64(len(s.shards))%slots)*slotBytes)
+}
+
+// get probes a run of collision slots (open addressing) and
+// deserializes the value.
+func (s *store) get(t *exec.Thread, key uint64) {
+	obj := s.shardOf(key)
+	a := s.slotAddr(obj, key)
+	probe := 8 * slotBytes
+	if a+mem.Addr(probe) > obj.End() {
+		a = obj.End() - mem.Addr(probe)
+	}
+	t.Load(a, probe)
+	t.Compute(160) // compare keys + deserialize value
+}
+
+// scan reads the whole shard (a range query over its slots).
+func (s *store) scan(t *exec.Thread, obj *mem.Object) {
+	t.LoadCompute(obj.Base, int(obj.Size), 0.03)
+}
+
+// put writes the slot.
+func (s *store) put(t *exec.Thread, key uint64) {
+	obj := s.shardOf(key)
+	t.Store(s.slotAddr(obj, key), slotBytes)
+	t.Compute(30)
+}
+
+func main() {
+	shards := flag.Int("shards", 16, "number of shards")
+	scans := flag.Float64("scans", 0.4, "fraction of ops that are full-shard range scans")
+	puts := flag.Float64("puts", 0.01, "fraction of ops that are writes")
+	opsPer := flag.Int("ops", 3000, "operations per client thread")
+	flag.Parse()
+
+	fmt.Printf("kvstore: %d shards × %d KB; %.0f%% point reads on the hot shard, %.0f%% range scans, %.1f%% writes\n\n",
+		*shards, shardBytes/1024, (1-*scans-*puts)*100, *scans*100, *puts*100)
+
+	plain := core.DefaultOptions()
+	// KV operations touch few lines compared to directory scans, so the
+	// "expensive to fetch" threshold is lowered accordingly.
+	plain.MissThreshold = 3
+	replicated := plain
+	replicated.EnableReplication = true
+	replicated.ReplicateMinOps = 24
+	replicated.ReplicateReadRatio = 0.90
+
+	kopsBase := run(*shards, *scans, *puts, *opsPer, nil)
+	kopsPlain := run(*shards, *scans, *puts, *opsPer, &plain)
+	kopsRepl := run(*shards, *scans, *puts, *opsPer, &replicated)
+
+	fmt.Printf("%-34s %10s\n", "configuration", "kops/sec")
+	fmt.Printf("%-34s %10.0f\n", "thread scheduler", kopsBase)
+	fmt.Printf("%-34s %10.0f\n", "coretime", kopsPlain)
+	fmt.Printf("%-34s %10.0f\n", "coretime + read-only replication", kopsRepl)
+	fmt.Printf("\nreplication speedup over plain coretime: %.2fx\n", kopsRepl/kopsPlain)
+}
+
+func run(shards int, scans, puts float64, opsPer int, ctOpts *core.Options) float64 {
+	eng := sim.NewEngine()
+	m, err := machine.New(topology.Tiny8(), 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
+	st, err := newStore(m, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ann sched.Annotator = sched.ThreadScheduler{}
+	if ctOpts != nil {
+		ann = core.New(sys, *ctOpts)
+	}
+
+	workers := m.Config().NumCores()
+	var done sim.Time
+	master := stats.NewRNG(7)
+	for w := 0; w < workers; w++ {
+		rng := master.Split()
+		sys.Go(fmt.Sprintf("client %d", w), w, func(t *exec.Thread) {
+			for i := 0; i < opsPer; i++ {
+				r := rng.Float64()
+				switch {
+				case r < puts:
+					// Point write to a random shard.
+					key := rng.Uint64()
+					obj := st.shardOf(key)
+					ann.OpStart(t, obj.Base)
+					st.put(t, key)
+					ann.OpEnd(t)
+				case r < puts+scans:
+					// Range scan over a random shard: reads the
+					// whole shard and never writes it.
+					obj := st.shards[rng.Intn(shards)]
+					sched.OpStartRO(ann, t, obj.Base)
+					st.scan(t, obj)
+					ann.OpEnd(t)
+				default:
+					// Point read on the hot shard.
+					key := rng.Uint64() * uint64(shards) // ≡ 0 mod shards
+					obj := st.shardOf(key)
+					sched.OpStartRO(ann, t, obj.Base)
+					st.get(t, key)
+					ann.OpEnd(t)
+				}
+				t.Yield()
+			}
+			if t.Now() > done {
+				done = t.Now()
+			}
+		})
+	}
+	eng.Run(0)
+
+	total := float64(workers * opsPer)
+	seconds := float64(done) / m.Config().ClockHz
+	return total / seconds / 1000
+}

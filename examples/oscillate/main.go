@@ -1,0 +1,121 @@
+// Oscillate: a live view of CoreTime's runtime monitor (the mechanism
+// behind Figure 4(b)). The active directory set oscillates between all
+// directories and a quarter of them; the example prints a timeline of
+// per-phase throughput together with the monitor's actions — placements,
+// decays, and rebalancing moves — so you can watch the scheduler chase the
+// working set.
+//
+// Run with:
+//
+//	go run ./examples/oscillate [-dirs N] [-period CYCLES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	dirs := flag.Int("dirs", 24, "number of directories")
+	entries := flag.Int("entries", 512, "entries per directory")
+	period := flag.Uint64("period", 800_000, "oscillation half-period in cycles")
+	phases := flag.Int("phases", 10, "phases to simulate")
+	dumpTrace := flag.Bool("trace", false, "dump the scheduler's decision trace at the end")
+	flag.Parse()
+
+	spec := workload.DirSpec{Dirs: *dirs, EntriesPerDir: *entries}
+	env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.RebalanceInterval = sim.Cycles(*period / 4)
+	opts.DecayWindow = sim.Cycles(*period) * 3 / 2
+	tracer := trace.New(256)
+	opts.Tracer = tracer
+	rt := core.New(env.Sys, opts)
+
+	fmt.Printf("oscillate: %d dirs × %d entries (%d KB); active set alternates %d ⇄ %d dirs every %d cycles\n\n",
+		*dirs, *entries, spec.TotalBytes()/1024, *dirs, *dirs/4, *period)
+
+	// Worker threads: the Fig. 1 loop with an oscillating directory
+	// choice.
+	deadline := sim.Time(uint64(*phases) * *period)
+	counts := make([]uint64, *phases)
+	master := stats.NewRNG(3)
+	homes := sched.RoundRobin(env.Mach.Config().NumCores(), env.Mach.Config().NumCores())
+	for w := 0; w < env.Mach.Config().NumCores(); w++ {
+		rng := master.Split()
+		env.Sys.Go(fmt.Sprintf("thread %d", w), homes[w], func(t *exec.Thread) {
+			for t.Now() < deadline {
+				phase := int(uint64(t.Now()) / *period)
+				n := *dirs
+				if phase%2 == 1 {
+					n = *dirs / 4
+				}
+				d := env.Dirs[rng.Intn(n)]
+				name := d.Names[rng.Intn(len(d.Names))]
+
+				t.Compute(60)
+				rt.OpStart(t, d.Obj.Base)
+				t.Lock(d.Lock)
+				b := t.NewBatch()
+				if _, err := env.FS.Lookup(b, d.Dir, name); err != nil {
+					panic(err)
+				}
+				b.Commit()
+				t.Unlock(d.Lock)
+				rt.OpEnd(t)
+
+				if phase < len(counts) {
+					counts[phase]++
+				}
+				t.Yield()
+			}
+		})
+	}
+
+	// Phase reporter: print throughput and monitor activity per phase.
+	last := rt.Stats()
+	for ph := 1; ph <= *phases; ph++ {
+		ph := ph
+		env.Eng.At(sim.Time(uint64(ph)**period), func() {
+			s := rt.Stats()
+			active := *dirs
+			if (ph-1)%2 == 1 {
+				active = *dirs / 4
+			}
+			kres := float64(counts[ph-1]) / (float64(*period) / env.Mach.Config().ClockHz) / 1000
+			fmt.Printf("phase %2d  active=%2d dirs  %7.0f kres/s   +placements=%-3d +unplacements=%-3d +moves=%-3d +migrations=%d\n",
+				ph, active, kres,
+				s.Placements-last.Placements,
+				s.Unplacements-last.Unplacements,
+				s.ObjectsMoved-last.ObjectsMoved,
+				s.Migrations-last.Migrations)
+			last = s
+		})
+	}
+
+	env.Eng.Run(deadline + 1)
+
+	s := rt.Stats()
+	fmt.Printf("\ntotals: %d ops, %d migrations, %d placements, %d unplacements, %d monitor moves\n",
+		s.Ops, s.Migrations, s.Placements, s.Unplacements, s.ObjectsMoved)
+
+	if *dumpTrace {
+		fmt.Printf("\nlast %d scheduler decisions (cycle, kind, subject):\n", len(tracer.Events()))
+		tracer.Dump(os.Stdout)
+	}
+}

@@ -1,0 +1,114 @@
+// Webserver: the paper's motivating scenario. §2 notes that directory
+// lookup workloads "can be a bottleneck when running a Web server" (citing
+// Veal & Foong's study of multicore web-server scalability).
+//
+// This example simulates the name-resolution stage of a static web server:
+// worker threads receive requests for paths like /DIR00012/F0000345 and
+// resolve them against the FAT volume (one directory-scan per path
+// component). It reports throughput and request latency percentiles under
+// the thread scheduler and under CoreTime.
+//
+// Run with:
+//
+//	go run ./examples/webserver [-requests N] [-docroots N] [-files N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	docroots := flag.Int("docroots", 12, "number of virtual-host document directories")
+	files := flag.Int("files", 512, "files per directory")
+	requests := flag.Int("requests", 400, "requests per worker")
+	workers := flag.Int("workers", 8, "server worker threads")
+	seed := flag.Uint64("seed", 1, "request stream seed")
+	flag.Parse()
+
+	spec := workload.DirSpec{Dirs: *docroots, EntriesPerDir: *files}
+	fmt.Printf("webserver: %d workers serving %d vhosts × %d files (%d KB of metadata)\n\n",
+		*workers, *docroots, *files, spec.TotalBytes()/1024)
+
+	baseThr, baseLat := run(spec, *workers, *requests, *seed, nil)
+	opts := core.DefaultOptions()
+	ctThr, ctLat := run(spec, *workers, *requests, *seed, &opts)
+
+	fmt.Printf("%-18s %14s %12s %12s %12s\n",
+		"scheduler", "requests/sec", "p50 (µs)", "p95 (µs)", "p99 (µs)")
+	report := func(name string, thr float64, lat []float64) {
+		fmt.Printf("%-18s %14.0f %12.1f %12.1f %12.1f\n", name, thr,
+			stats.Percentile(lat, 50), stats.Percentile(lat, 95), stats.Percentile(lat, 99))
+	}
+	report("thread-scheduler", baseThr, baseLat)
+	report("coretime", ctThr, ctLat)
+	fmt.Printf("\nCoreTime speedup: %.2fx\n", ctThr/baseThr)
+}
+
+// run serves `requests` requests per worker and returns throughput
+// (requests per simulated second) and per-request latencies in
+// microseconds of simulated time.
+func run(spec workload.DirSpec, workers, requests int, seed uint64, ctOpts *core.Options) (float64, []float64) {
+	env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ann sched.Annotator = sched.ThreadScheduler{}
+	if ctOpts != nil {
+		ann = core.New(env.Sys, *ctOpts)
+	}
+
+	clock := env.Mach.Config().ClockHz
+	var latencies []float64
+	var done sim.Time
+
+	homes := sched.RoundRobin(workers, env.Mach.Config().NumCores())
+	master := stats.NewRNG(seed)
+	for w := 0; w < workers; w++ {
+		rng := master.Split()
+		env.Sys.Go(fmt.Sprintf("worker %d", w), homes[w], func(t *exec.Thread) {
+			for r := 0; r < requests; r++ {
+				d := env.Dirs[rng.Intn(len(env.Dirs))]
+				name := d.Names[rng.Intn(len(d.Names))]
+
+				start := t.Now()
+				// Parse + dispatch overhead of a request.
+				t.Compute(400)
+				// Resolve the path: the directory scan is the
+				// operation, the directory the object (Fig. 3).
+				ann.OpStart(t, d.Obj.Base)
+				t.Lock(d.Lock)
+				b := t.NewBatch()
+				if _, err := env.FS.Lookup(b, d.Dir, name); err != nil {
+					panic(err)
+				}
+				b.Commit()
+				t.Unlock(d.Lock)
+				ann.OpEnd(t)
+				// Build and "send" the response headers.
+				t.Compute(600)
+
+				us := float64(t.Now()-start) / clock * 1e6
+				latencies = append(latencies, us)
+				if t.Now() > done {
+					done = t.Now()
+				}
+				t.Yield()
+			}
+		})
+	}
+	env.Eng.Run(0)
+
+	total := workers * requests
+	seconds := float64(done) / clock
+	return float64(total) / seconds, latencies
+}

@@ -1,0 +1,416 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// AblationRow is one configuration of an ablation experiment.
+type AblationRow struct {
+	Config string
+	KOps   float64 // thousands of operations per second
+	Note   string
+}
+
+// WriteAblation formats ablation rows.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-32s %12s  %s\n", "config", "kops/sec", "notes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-32s %12.0f  %s\n", r.Config, r.KOps, r.Note)
+	}
+}
+
+// objEnv is a small non-filesystem environment for ablations that need
+// raw objects: a Tiny8 machine with count objects of size bytes each.
+type objEnv struct {
+	eng  *sim.Engine
+	m    *machine.Machine
+	sys  *exec.System
+	objs []*mem.Object
+}
+
+func newObjEnv(cfg topology.Config, count int, size uint64) (*objEnv, error) {
+	eng := sim.NewEngine()
+	m, err := machine.New(cfg, int(size)*count*2+(8<<20))
+	if err != nil {
+		return nil, err
+	}
+	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
+	e := &objEnv{eng: eng, m: m, sys: sys}
+	for i := 0; i < count; i++ {
+		obj, err := m.Image().AllocObject(fmt.Sprintf("obj%03d", i), size)
+		if err != nil {
+			return nil, err
+		}
+		e.objs = append(e.objs, obj)
+	}
+	return e, nil
+}
+
+// runObjOps drives threads that repeatedly run `op` and returns operations
+// per simulated second (in thousands).
+func (e *objEnv) runObjOps(threads int, warmup, measure sim.Cycles, seed uint64,
+	op func(t *exec.Thread, rng *stats.RNG, measured *uint64)) float64 {
+	homes := sched.RoundRobin(threads, e.m.Config().NumCores())
+	measureStart := e.eng.Now() + warmup
+	deadline := measureStart + measure
+	counts := make([]uint64, threads)
+	master := stats.NewRNG(seed)
+	for i := 0; i < threads; i++ {
+		i := i
+		rng := master.Split()
+		e.sys.Go(fmt.Sprintf("w%d", i), homes[i], func(t *exec.Thread) {
+			for t.Now() < deadline {
+				var measured uint64
+				op(t, rng, &measured)
+				if t.Now() >= measureStart && t.Now() <= deadline {
+					counts[i] += measured
+				}
+				t.Yield()
+			}
+		})
+	}
+	e.eng.Run(0)
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	seconds := float64(measure) / e.m.Config().ClockHz
+	return float64(total) / seconds / 1000
+}
+
+const (
+	ablWarmup  sim.Cycles = 1_500_000
+	ablMeasure sim.Cycles = 4_000_000
+)
+
+// AblationClustering measures §6.2 object clustering: every operation uses
+// a pair of objects together ("if one thread or operation uses two objects
+// simultaneously then it might be best to place both objects in the same
+// cache"). With clustering the pair shares a core (one migration per
+// operation); without, the partner object is usually remote.
+func AblationClustering() ([]AblationRow, error) {
+	const pairs = 6
+	const size = 8 << 10
+
+	run := func(clustering bool) (float64, error) {
+		env, err := newObjEnv(topology.Tiny8(), 2*pairs, size)
+		if err != nil {
+			return 0, err
+		}
+		opts := core.DefaultOptions()
+		opts.EnableClustering = clustering
+		rt := core.New(env.sys, opts)
+		for i := 0; i < pairs; i++ {
+			rt.PlaceTogether(env.objs[2*i].Base, env.objs[2*i+1].Base)
+		}
+		kops := env.runObjOps(8, ablWarmup, ablMeasure, 7, func(t *exec.Thread, rng *stats.RNG, n *uint64) {
+			i := rng.Intn(pairs)
+			a, b := env.objs[2*i], env.objs[2*i+1]
+			// Nested annotations: the operation on a uses b inside it,
+			// the co-use pattern clustering targets. Without
+			// clustering the inner annotation migrates to b's core
+			// and back on every operation; with it, b shares a's
+			// core and the inner annotation is free.
+			rt.OpStart(t, a.Base)
+			t.LoadCompute(a.Base, int(a.Size), 0.05)
+			rt.OpStart(t, b.Base)
+			t.LoadCompute(b.Base, int(b.Size), 0.05)
+			rt.OpEnd(t)
+			rt.OpEnd(t)
+			*n = 1
+		})
+		return kops, nil
+	}
+
+	off, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Config: "clustering off", KOps: off, Note: "partner object remote"},
+		{Config: "clustering on", KOps: on, Note: fmt.Sprintf("%.2fx", on/off)},
+	}, nil
+}
+
+// AblationReplication measures §6.2 read-only replication: one hot
+// read-only object serializes every operation on a single core unless it
+// is replicated per chip.
+func AblationReplication() ([]AblationRow, error) {
+	const size = 8 << 10
+
+	run := func(replication bool) (float64, error) {
+		env, err := newObjEnv(topology.Tiny8(), 1, size)
+		if err != nil {
+			return 0, err
+		}
+		opts := core.DefaultOptions()
+		opts.EnableReplication = replication
+		opts.ReplicateMinOps = 32
+		rt := core.New(env.sys, opts)
+		hot := env.objs[0]
+		kops := env.runObjOps(8, ablWarmup, ablMeasure, 11, func(t *exec.Thread, rng *stats.RNG, n *uint64) {
+			rt.OpStartReadOnly(t, hot.Base)
+			t.LoadCompute(hot.Base, int(hot.Size), 0.1)
+			rt.OpEnd(t)
+			*n = 1
+		})
+		return kops, nil
+	}
+
+	off, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Config: "replication off", KOps: off, Note: "all ops funnel to one core"},
+		{Config: "replication on", KOps: on, Note: fmt.Sprintf("one replica per chip, %.2fx", on/off)},
+	}, nil
+}
+
+// AblationReplacement measures the §6.2 over-capacity policy: the working
+// set exceeds total on-chip memory, with a hot subset. First-fit keeps
+// whichever objects crossed the miss threshold first; frequency-based
+// replacement keeps the hot ones.
+func AblationReplacement() ([]AblationRow, error) {
+	spec := workload.DirSpec{Dirs: 32, EntriesPerDir: 512} // 512 KB on a 256 KB machine
+
+	run := func(policy core.ReplacementPolicy) (float64, error) {
+		env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+		if err != nil {
+			return 0, err
+		}
+		opts := core.DefaultOptions()
+		opts.Replacement = policy
+		// Decay and the DRAM-ineffectiveness unplacer would eventually
+		// free the budget on their own; disable both to isolate the
+		// replacement policy.
+		opts.DecayWindow = 0
+		opts.UnplaceDRAMFrac = 0
+		rt := core.New(env.Sys, opts)
+		p := workload.DefaultRunParams()
+		p.Threads = 8
+		p.Warmup = ablWarmup
+		p.Measure = ablMeasure
+		// Adversarial schedule: uniform traffic during warmup fills the
+		// budget with arbitrary directories; then the distribution
+		// shifts to a hot subset. First-fit is stuck with its early
+		// picks; frequency-based replacement revises them.
+		p.Popularity = workload.UniformThenHotspot
+		p.PhaseShiftAt = ablWarmup
+		p.HotDirs = 6
+		p.HotFraction = 0.9
+		res := workload.RunDirLookup(env, rt, p)
+		return res.KResPerSec, nil
+	}
+
+	ff, err := run(core.ReplaceNone)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := run(core.ReplaceFrequency)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Config: "first-fit (paper base)", KOps: ff, Note: "placement is first-come"},
+		{Config: "frequency replacement", KOps: fr, Note: fmt.Sprintf("hot objects win space, %.2fx", fr/ff)},
+	}, nil
+}
+
+// AblationMigrationCost sweeps the fixed CPU cost of migration (§6.1: the
+// AMD machine's "high cost to migrate a thread" limits CoreTime; hardware
+// active messages "could reduce the overhead of migration").
+func AblationMigrationCost() ([]AblationRow, error) {
+	spec := workload.DirSpec{Dirs: 8, EntriesPerDir: 512}
+	costs := []sim.Cycles{0, 250, 550, 1500, 4000, 8000}
+
+	p := workload.DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = ablWarmup
+	p.Measure = ablMeasure
+
+	// Baseline reference (no migrations at all).
+	envB, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	if err != nil {
+		return nil, err
+	}
+	base := workload.RunDirLookup(envB, sched.ThreadScheduler{}, p)
+	rows := []AblationRow{{Config: "thread scheduler (reference)", KOps: base.KResPerSec}}
+
+	for _, c := range costs {
+		eopts := exec.DefaultOptions()
+		eopts.MigrationCPUCost = c
+		env, err := workload.BuildEnv(topology.Tiny8(), eopts, spec)
+		if err != nil {
+			return nil, err
+		}
+		rt := core.New(env.Sys, core.DefaultOptions())
+		res := workload.RunDirLookup(env, rt, p)
+		note := ""
+		if c == 0 {
+			note = "≈ hardware active messages"
+		}
+		rows = append(rows, AblationRow{
+			Config: fmt.Sprintf("coretime, migr CPU cost %d", c),
+			KOps:   res.KResPerSec,
+			Note:   note,
+		})
+	}
+	return rows, nil
+}
+
+// AblationPathClustering measures clustering on the real file system:
+// two-level path resolutions (/TOP/SUB/FILE) are nested operations over a
+// top directory and one of its subdirectories. Clustering each top with
+// its subdirectories keeps whole resolutions on one core (§6.2: "if one
+// thread or operation uses two objects simultaneously then it might be
+// best to place both objects in the same cache").
+func AblationPathClustering() ([]AblationRow, error) {
+	spec := workload.PathSpec{TopDirs: 4, SubsPerTop: 6, FilesPerSub: 128}
+	p := workload.DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = ablWarmup
+	p.Measure = ablMeasure
+
+	// Baseline reference.
+	envB, err := workload.BuildPathEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	if err != nil {
+		return nil, err
+	}
+	base := workload.RunPathLookup(envB, sched.ThreadScheduler{}, p)
+
+	run := func(clustering bool) (workload.PathResult, error) {
+		env, err := workload.BuildPathEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+		if err != nil {
+			return workload.PathResult{}, err
+		}
+		opts := core.DefaultOptions()
+		opts.EnableClustering = clustering
+		opts.MissThreshold = 4 // subdirectory scans are small
+		rt := core.New(env.Sys, opts)
+		for _, hint := range env.ClusterHints() {
+			rt.PlaceTogether(hint...)
+		}
+		return workload.RunPathLookup(env, rt, p), nil
+	}
+	flat, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	clustered, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Config: "thread scheduler (reference)", KOps: base.KResPerSec},
+		{Config: "coretime, clustering off", KOps: flat.KResPerSec,
+			Note: fmt.Sprintf("%d migrations", flat.Migrations)},
+		{Config: "coretime, clustering on", KOps: clustered.KResPerSec,
+			Note: fmt.Sprintf("%d migrations, %.2fx over unclustered",
+				clustered.Migrations, clustered.KResPerSec/flat.KResPerSec)},
+	}, nil
+}
+
+// AblationSingleThread reproduces the §1 claim that even single-threaded
+// applications can benefit: "a single threaded application might have a
+// working set larger than a single core's cache capacity. The application
+// would run faster with more cache, and the processor may well have spare
+// cache in other cores, but if the application stays on one core it can
+// use only a small fraction of the total cache."
+//
+// One thread scans objects whose total exceeds a single core's budget but
+// fits the machine. The baseline pins the thread (implicitly: it never
+// migrates); CoreTime partitions the objects across all caches and walks
+// the thread among them.
+func AblationSingleThread() ([]AblationRow, error) {
+	// 12 × 16 KB = 192 KB: far beyond one Tiny8 core's ~29 KB budget
+	// (L2 + L3 share), comfortably inside the machine's 256 KB total.
+	const objects = 12
+	const size = 16 << 10
+
+	run := func(coretime bool) (float64, error) {
+		env, err := newObjEnv(topology.Tiny8(), objects, size)
+		if err != nil {
+			return 0, err
+		}
+		var ann sched.Annotator = sched.ThreadScheduler{}
+		if coretime {
+			ann = core.New(env.sys, core.DefaultOptions())
+		}
+		kops := env.runObjOps(1, ablWarmup, ablMeasure, 21, func(t *exec.Thread, rng *stats.RNG, n *uint64) {
+			obj := env.objs[rng.Intn(objects)]
+			ann.OpStart(t, obj.Base)
+			t.LoadCompute(obj.Base, int(obj.Size), 0.05)
+			ann.OpEnd(t)
+			*n = 1
+		})
+		return kops, nil
+	}
+	base, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Config: "single thread, pinned", KOps: base,
+			Note: "working set ≫ one core's caches"},
+		{Config: "single thread, coretime", KOps: ct,
+			Note: fmt.Sprintf("thread walks the placed objects, %.2fx", ct/base)},
+	}, nil
+}
+
+// AblationHeterogeneous runs the workload on a machine where half the
+// cores run at half speed (§6.1: "Future processors might have
+// heterogeneous cores, which would complicate the design of a O2
+// scheduler").
+func AblationHeterogeneous() ([]AblationRow, error) {
+	spec := workload.DirSpec{Dirs: 8, EntriesPerDir: 512}
+	cfg := topology.Tiny8()
+	cfg.CoreSpeed = []float64{1, 2, 1, 2, 1, 2, 1, 2} // odd cores half speed
+
+	p := workload.DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = ablWarmup
+	p.Measure = ablMeasure
+
+	envB, err := workload.BuildEnv(cfg, exec.DefaultOptions(), spec)
+	if err != nil {
+		return nil, err
+	}
+	base := workload.RunDirLookup(envB, sched.ThreadScheduler{}, p)
+
+	envCT, err := workload.BuildEnv(cfg, exec.DefaultOptions(), spec)
+	if err != nil {
+		return nil, err
+	}
+	ct := workload.RunDirLookup(envCT, core.New(envCT.Sys, core.DefaultOptions()), p)
+
+	return []AblationRow{
+		{Config: "hetero, thread scheduler", KOps: base.KResPerSec},
+		{Config: "hetero, coretime", KOps: ct.KResPerSec,
+			Note: fmt.Sprintf("%.2fx; packer is speed-unaware (open problem per §6.1)", ct.KResPerSec/base.KResPerSec)},
+	}, nil
+}

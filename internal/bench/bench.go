@@ -1,0 +1,180 @@
+// Package bench regenerates every figure and table of the paper's
+// evaluation, plus the ablations of the design choices called out in
+// DESIGN.md. The cmd/o2bench CLI and the repository's bench_test.go are
+// thin wrappers around this package.
+//
+// Experiment index (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	Fig4a        — uniform directory popularity sweep (paper Fig. 4a)
+//	Fig4b        — oscillating popularity sweep (paper Fig. 4b)
+//	Fig2         — cache contents under thread vs O2 scheduling (Fig. 2)
+//	LatencyTable — §5 hardware latency numbers
+//	MigrationCost— §5 "measured cost of migration is 2000 cycles"
+//	Ablations    — clustering, replication, replacement, migration-cost
+//	               sensitivity, heterogeneous cores (§6)
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Fig4Config drives the Fig. 4 sweeps.
+type Fig4Config struct {
+	Machine topology.Config
+	// DirCounts are the x-axis points (number of directories, each
+	// 1,000 entries × 32 bytes = 31.25 KB, matching the paper).
+	DirCounts     []int
+	EntriesPerDir int
+	Params        workload.RunParams
+	// CoreTime options; the monitor is active, as in the paper.
+	CoreTime core.Options
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// DefaultFig4Config returns the full-scale configuration: the AMD16
+// machine swept from 125 KB to 21 MB of directory data.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		Machine: topology.AMD16(),
+		DirCounts: []int{
+			4, 8, 16, 32, 64, 112, 160, 224, 288, 352, 416, 480, 544, 608, 672,
+		},
+		EntriesPerDir: 1000,
+		Params:        workload.DefaultRunParams(),
+		CoreTime:      core.DefaultOptions(),
+	}
+}
+
+// QuickFig4Config returns a reduced sweep for smoke tests and testing.B
+// benchmarks: fewer points and shorter windows, same machine. The shapes
+// hold but absolute numbers sit slightly below the converged full run.
+func QuickFig4Config() Fig4Config {
+	cfg := DefaultFig4Config()
+	cfg.DirCounts = []int{8, 64, 224, 480, 640}
+	cfg.Params.Warmup = 8_000_000
+	cfg.Params.Measure = 3_000_000
+	return cfg
+}
+
+// Fig4Row is one x-axis point of Fig. 4: throughput with and without
+// CoreTime at a given total data size.
+type Fig4Row struct {
+	Dirs       int
+	DataKB     float64
+	BaseKRes   float64 // thousands of resolutions/sec, thread scheduler
+	CTKRes     float64 // thousands of resolutions/sec, CoreTime
+	Speedup    float64
+	Migrations uint64 // CoreTime migrations in the measured window
+}
+
+// Fig4a regenerates Figure 4(a): uniform directory popularity.
+func Fig4a(cfg Fig4Config) ([]Fig4Row, error) {
+	cfg.Params.Popularity = workload.Uniform
+	return fig4(cfg)
+}
+
+// Fig4b regenerates Figure 4(b): the number of directories accessed
+// oscillates between the x-axis value and a sixteenth of it. The CoreTime
+// monitor cadence is tied to the oscillation period so the rebalancer can
+// follow the phase changes (the experiment exists to "demonstrate the
+// ability of CoreTime to rebalance objects", §5).
+func Fig4b(cfg Fig4Config) ([]Fig4Row, error) {
+	cfg.Params.Popularity = workload.Oscillating
+	if cfg.Params.OscillatePeriod == 0 {
+		cfg.Params.OscillatePeriod = 2_000_000
+	}
+	if cfg.Params.OscillateDivisor == 0 {
+		cfg.Params.OscillateDivisor = 16
+	}
+	if cfg.CoreTime.RebalanceInterval == core.DefaultOptions().RebalanceInterval {
+		cfg.CoreTime.RebalanceInterval = cfg.Params.OscillatePeriod / 4
+	}
+	if cfg.CoreTime.DecayWindow == core.DefaultOptions().DecayWindow {
+		cfg.CoreTime.DecayWindow = 2 * cfg.Params.OscillatePeriod
+	}
+	return fig4(cfg)
+}
+
+func fig4(cfg Fig4Config) ([]Fig4Row, error) {
+	if cfg.EntriesPerDir == 0 {
+		cfg.EntriesPerDir = 1000
+	}
+	rows := make([]Fig4Row, 0, len(cfg.DirCounts))
+	for _, dirs := range cfg.DirCounts {
+		spec := workload.DirSpec{Dirs: dirs, EntriesPerDir: cfg.EntriesPerDir}
+
+		base, err := runOne(cfg, spec, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: baseline at %d dirs: %w", dirs, err)
+		}
+		ct, err := runOne(cfg, spec, &cfg.CoreTime)
+		if err != nil {
+			return nil, fmt.Errorf("bench: coretime at %d dirs: %w", dirs, err)
+		}
+
+		row := Fig4Row{
+			Dirs:       dirs,
+			DataKB:     float64(spec.TotalBytes()) / 1024,
+			BaseKRes:   base.KResPerSec,
+			CTKRes:     ct.KResPerSec,
+			Migrations: ct.Migrations,
+		}
+		if base.KResPerSec > 0 {
+			row.Speedup = ct.KResPerSec / base.KResPerSec
+		}
+		rows = append(rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%8.0f KB  base %8.0f  coretime %8.0f  (%.2fx)\n",
+				row.DataKB, row.BaseKRes, row.CTKRes, row.Speedup)
+		}
+	}
+	return rows, nil
+}
+
+// runOne measures one (spec, scheduler) point on a fresh environment.
+// ctOpts nil selects the baseline thread scheduler.
+func runOne(cfg Fig4Config, spec workload.DirSpec, ctOpts *core.Options) (workload.Result, error) {
+	env, err := workload.BuildEnv(cfg.Machine, exec.DefaultOptions(), spec)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	var ann sched.Annotator = sched.ThreadScheduler{}
+	if ctOpts != nil {
+		ann = core.New(env.Sys, *ctOpts)
+	}
+	return workload.RunDirLookup(env, ann, cfg.Params), nil
+}
+
+// WriteFig4Table prints rows in the paper's axes (total data size in KB vs
+// thousands of resolutions per second).
+func WriteFig4Table(w io.Writer, title string, rows []Fig4Row) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%10s %8s %14s %14s %9s %12s\n",
+		"data(KB)", "dirs", "without-CT", "with-CT", "speedup", "migrations")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10.0f %8d %14.0f %14.0f %8.2fx %12d\n",
+			r.DataKB, r.Dirs, r.BaseKRes, r.CTKRes, r.Speedup, r.Migrations)
+	}
+}
+
+// WriteFig4CSV emits the same series in CSV, ready for gnuplot/matplotlib
+// against the paper's axes.
+func WriteFig4CSV(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "data_kb,dirs,kres_without_ct,kres_with_ct,speedup,migrations")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.2f,%d,%.1f,%.1f,%.4f,%d\n",
+			r.DataKB, r.Dirs, r.BaseKRes, r.CTKRes, r.Speedup, r.Migrations)
+	}
+}
+
+// cyclesToString formats a cycle count for tables.
+func cyclesToString(c sim.Cycles) string { return fmt.Sprintf("%d", c) }

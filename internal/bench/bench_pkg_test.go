@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestLatencyTableMatchesPaper(t *testing.T) {
+	rows, err := LatencyTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"L1 hit":                   3,
+		"L2 hit":                   14,
+		"L3 hit":                   75,
+		"remote cache (same chip)": 127,
+		"DRAM (local bank)":        230,
+		"DRAM (most distant bank)": 336,
+	}
+	got := map[string]int64{}
+	for _, r := range rows {
+		got[r.Name] = int64(r.Measured)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %d cycles, want %d (paper §5)", name, got[name], w)
+		}
+	}
+	// Remote fetches must span the paper's 127–336 range monotonically.
+	if !(got["remote cache (same chip)"] < got["remote cache (1 hop)"] &&
+		got["remote cache (1 hop)"] < got["remote cache (2 hops)"]) {
+		t.Error("remote cache latencies not monotone in distance")
+	}
+}
+
+func TestMigrationCostNearPaper(t *testing.T) {
+	r, err := MigrationCost(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanCycles < 1200 || r.MeanCycles > 3000 {
+		t.Fatalf("migration cost %.0f cycles, want ≈2000 (paper §5)", r.MeanCycles)
+	}
+	if r.CrossChip <= r.SameChip {
+		t.Errorf("cross-chip migration (%.0f) should cost more than same-chip (%.0f)",
+			r.CrossChip, r.SameChip)
+	}
+}
+
+func TestFig4SmokeTiny(t *testing.T) {
+	// A reduced sweep on the Tiny8 machine: validates the end-to-end
+	// harness and the headline shape (CoreTime wins once data exceeds a
+	// chip's caches) without AMD16 simulation cost.
+	cfg := Fig4Config{
+		Machine:       topology.Tiny8(),
+		DirCounts:     []int{2, 8, 16},
+		EntriesPerDir: 512, // 16 KB per dir
+		Params:        workload.DefaultRunParams(),
+		CoreTime:      core.DefaultOptions(),
+	}
+	cfg.Params.Threads = 8
+	cfg.Params.Warmup = 800_000
+	cfg.Params.Measure = 1_600_000
+
+	rows, err := Fig4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseKRes <= 0 || r.CTKRes <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	// 8 dirs = 128 KB: exceeds one chip (64 KB), fits on-chip total.
+	mid := rows[1]
+	if mid.Speedup < 1.3 {
+		t.Errorf("at 8 dirs CoreTime speedup = %.2fx, want clearly > 1 (paper: 2–3x)", mid.Speedup)
+	}
+	if mid.Migrations == 0 {
+		t.Error("CoreTime never migrated at the mid point")
+	}
+	var sb strings.Builder
+	WriteFig4Table(&sb, "fig4a tiny", rows)
+	if !strings.Contains(sb.String(), "without-CT") {
+		t.Error("table formatting broken")
+	}
+}
+
+func TestFig4bOscillatingSmoke(t *testing.T) {
+	// Fig. 4b exists to show CoreTime rebalancing when the active set
+	// oscillates (§5). At Tiny8 scale the decisive comparison is
+	// CoreTime with the monitor (decay + rebalance) against CoreTime
+	// without it: 24 dirs of 16 KB against a budget of ~8 placements
+	// means the monitor must evict stale placements for the active set
+	// to fit.
+	spec := workload.DirSpec{Dirs: 24, EntriesPerDir: 512}
+	p := workload.DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = 900_000
+	p.Measure = 3_600_000
+	p.Popularity = workload.Oscillating
+	p.OscillatePeriod = 600_000
+	p.OscillateDivisor = 4 // small phase: 6 dirs
+
+	run := func(monitor bool) float64 {
+		env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		if monitor {
+			opts.RebalanceInterval = 150_000
+			opts.DecayWindow = 450_000
+		} else {
+			opts.RebalanceInterval = 0
+			opts.DecayWindow = 0
+		}
+		return workload.RunDirLookup(env, core.New(env.Sys, opts), p).KResPerSec
+	}
+
+	static := run(false)
+	rebal := run(true)
+	t.Logf("fig4b tiny: coretime static %.0f, with monitor %.0f (%.2fx)",
+		static, rebal, rebal/static)
+	if rebal <= static {
+		t.Errorf("monitor (rebalance+decay) did not help under oscillation: %.0f vs %.0f",
+			rebal, static)
+	}
+}
+
+func TestFig2ShowsDeduplication(t *testing.T) {
+	cfg := DefaultFig2Config()
+	cfg.Warmup = 1_500_000
+	base, o2, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("thread scheduler: %d/%d on-chip, duplication %.2f",
+		base.DistinctOnChip, len(base.Dirs), base.Duplication)
+	t.Logf("o2 scheduler:     %d/%d on-chip, duplication %.2f",
+		o2.DistinctOnChip, len(o2.Dirs), o2.Duplication)
+	// The paper's Fig. 2 claim: the O2 scheduler stores more distinct
+	// directories on-chip with less duplication.
+	if o2.DistinctOnChip < base.DistinctOnChip {
+		t.Errorf("O2 keeps fewer dirs on-chip (%d) than thread scheduling (%d)",
+			o2.DistinctOnChip, base.DistinctOnChip)
+	}
+	if o2.Duplication >= base.Duplication {
+		t.Errorf("O2 duplication %.2f not below thread scheduling %.2f",
+			o2.Duplication, base.Duplication)
+	}
+	var sb strings.Builder
+	WriteCacheMap(&sb, cfg.Machine, base)
+	WriteCacheMap(&sb, cfg.Machine, o2)
+	if !strings.Contains(sb.String(), "off-chip") {
+		t.Error("cache map rendering broken")
+	}
+}
+
+func TestAblationClustering(t *testing.T) {
+	rows, err := AblationClustering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clustering: off %.0f, on %.0f kops/s", rows[0].KOps, rows[1].KOps)
+	if rows[1].KOps <= rows[0].KOps {
+		t.Errorf("clustering did not help: %.0f vs %.0f", rows[1].KOps, rows[0].KOps)
+	}
+}
+
+func TestAblationReplication(t *testing.T) {
+	rows, err := AblationReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replication: off %.0f, on %.0f kops/s", rows[0].KOps, rows[1].KOps)
+	if rows[1].KOps <= rows[0].KOps {
+		t.Errorf("replication did not help: %.0f vs %.0f", rows[1].KOps, rows[0].KOps)
+	}
+}
+
+func TestAblationReplacement(t *testing.T) {
+	rows, err := AblationReplacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replacement: first-fit %.0f, frequency %.0f kres/s", rows[0].KOps, rows[1].KOps)
+	// Frequency-based replacement should not lose; usually it wins.
+	if rows[1].KOps < rows[0].KOps*0.95 {
+		t.Errorf("frequency replacement regressed: %.0f vs %.0f", rows[1].KOps, rows[0].KOps)
+	}
+}
+
+func TestAblationMigrationCostMonotone(t *testing.T) {
+	rows, err := AblationMigrationCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-36s %8.0f kres/s", r.Config, r.KOps)
+	}
+	// Throughput must not increase with migration cost (allowing noise).
+	first, last := rows[1].KOps, rows[len(rows)-1].KOps
+	if last > first*1.05 {
+		t.Errorf("higher migration cost improved throughput: %.0f → %.0f", first, last)
+	}
+}
+
+func TestAblationPathClustering(t *testing.T) {
+	rows, err := AblationPathClustering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-32s %8.0f kres/s %s", r.Config, r.KOps, r.Note)
+	}
+	flat, clustered := rows[1].KOps, rows[2].KOps
+	if clustered < flat {
+		t.Errorf("path clustering slowed resolution: %.0f vs %.0f", clustered, flat)
+	}
+}
+
+func TestAblationSingleThread(t *testing.T) {
+	// §1: a single-threaded application with a working set larger than
+	// one core's cache runs faster when CoreTime walks it across the
+	// machine's caches.
+	rows, err := AblationSingleThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("single-thread: pinned %.0f, coretime %.0f kops/s (%.2fx)",
+		rows[0].KOps, rows[1].KOps, rows[1].KOps/rows[0].KOps)
+	if rows[1].KOps <= rows[0].KOps*1.3 {
+		t.Errorf("single-thread CoreTime advantage too small: %.0f vs %.0f",
+			rows[1].KOps, rows[0].KOps)
+	}
+}
+
+func TestAblationHeterogeneous(t *testing.T) {
+	rows, err := AblationHeterogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-32s %8.0f kres/s %s", r.Config, r.KOps, r.Note)
+	}
+	if rows[0].KOps <= 0 || rows[1].KOps <= 0 {
+		t.Fatal("degenerate heterogeneous results")
+	}
+}

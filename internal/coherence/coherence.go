@@ -1,0 +1,202 @@
+// Package coherence implements the global cache-coherence directory of the
+// simulated machine.
+//
+// Real AMD hardware of the paper's era located and invalidated lines with
+// interconnect broadcasts; what matters to the scheduling experiments is
+// not the protocol's message pattern but its *state*: which caches hold a
+// copy of each line, and which (if any) holds it dirty. The directory
+// tracks exactly that state, in a MESI-equivalent form:
+//
+//   - no holders                     → Invalid (line only in DRAM)
+//   - one holder, not dirty          → Exclusive
+//   - many holders, none dirty       → Shared
+//   - one holder, dirty              → Modified
+//
+// Holders are "nodes": each core's private L1+L2 pair is one node, and each
+// chip's shared L3 is another. The machine model keeps directory state in
+// lockstep with cache contents; the invariant tests in internal/machine
+// check that correspondence after every simulation.
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cache"
+)
+
+// Node identifies a holder: cores are nodes [0, NumCores); chip L3s are
+// nodes [NumCores, NumCores+Chips).
+type Node int
+
+// NoOwner marks a line with no dirty copy.
+const NoOwner Node = -1
+
+// lineState is the directory entry for one line.
+type lineState struct {
+	holders uint64 // bitmask over nodes
+	owner   Node   // node holding the line dirty, or NoOwner
+}
+
+// Directory tracks holders of every cached line in the machine.
+type Directory struct {
+	nodes int
+	lines map[cache.Line]*lineState
+}
+
+// NewDirectory creates a directory for a machine with the given total
+// number of nodes (cores + chips). At most 64 nodes are supported, which
+// covers the paper's machine (20 nodes) with room for larger configs.
+func NewDirectory(nodes int) *Directory {
+	if nodes <= 0 || nodes > 64 {
+		panic(fmt.Sprintf("coherence: %d nodes outside supported range [1,64]", nodes))
+	}
+	return &Directory{nodes: nodes, lines: make(map[cache.Line]*lineState)}
+}
+
+// Nodes returns the number of nodes the directory was built for.
+func (d *Directory) Nodes() int { return d.nodes }
+
+// TrackedLines returns how many lines currently have at least one holder.
+func (d *Directory) TrackedLines() int { return len(d.lines) }
+
+func (d *Directory) checkNode(n Node) {
+	if n < 0 || int(n) >= d.nodes {
+		panic(fmt.Sprintf("coherence: node %d outside [0,%d)", n, d.nodes))
+	}
+}
+
+// AddSharer records that node now holds a clean copy of line.
+func (d *Directory) AddSharer(l cache.Line, n Node) {
+	d.checkNode(n)
+	st := d.lines[l]
+	if st == nil {
+		st = &lineState{owner: NoOwner}
+		d.lines[l] = st
+	}
+	st.holders |= 1 << uint(n)
+}
+
+// SetOwner records that node holds line dirty (Modified). Any previous
+// owner mark is replaced; the node is also recorded as a holder.
+func (d *Directory) SetOwner(l cache.Line, n Node) {
+	d.checkNode(n)
+	st := d.lines[l]
+	if st == nil {
+		st = &lineState{owner: NoOwner}
+		d.lines[l] = st
+	}
+	st.holders |= 1 << uint(n)
+	st.owner = n
+}
+
+// RemoveSharer records that node no longer holds line (eviction or
+// invalidation). When the last holder disappears the entry is dropped —
+// the line lives only in DRAM.
+func (d *Directory) RemoveSharer(l cache.Line, n Node) {
+	d.checkNode(n)
+	st := d.lines[l]
+	if st == nil {
+		return
+	}
+	st.holders &^= 1 << uint(n)
+	if st.owner == n {
+		st.owner = NoOwner
+	}
+	if st.holders == 0 {
+		delete(d.lines, l)
+	}
+}
+
+// MoveSharer transfers a holder bit from one node to another in one step
+// (an L2 victim moving into the chip's L3). Dirty ownership moves with it.
+func (d *Directory) MoveSharer(l cache.Line, from, to Node) {
+	d.checkNode(from)
+	d.checkNode(to)
+	st := d.lines[l]
+	if st == nil || st.holders&(1<<uint(from)) == 0 {
+		// Nothing to move; treat as a plain add so callers need not
+		// special-case races between eviction paths.
+		d.AddSharer(l, to)
+		return
+	}
+	wasOwner := st.owner == from
+	st.holders &^= 1 << uint(from)
+	st.holders |= 1 << uint(to)
+	if wasOwner {
+		st.owner = to
+	}
+}
+
+// Holders returns the nodes holding line, in ascending order. The result
+// is freshly allocated.
+func (d *Directory) Holders(l cache.Line) []Node {
+	st := d.lines[l]
+	if st == nil {
+		return nil
+	}
+	out := make([]Node, 0, bits.OnesCount64(st.holders))
+	m := st.holders
+	for m != 0 {
+		n := bits.TrailingZeros64(m)
+		out = append(out, Node(n))
+		m &^= 1 << uint(n)
+	}
+	return out
+}
+
+// HolderMask returns the raw holder bitmask (hot path for the machine
+// model; avoids allocation).
+func (d *Directory) HolderMask(l cache.Line) uint64 {
+	st := d.lines[l]
+	if st == nil {
+		return 0
+	}
+	return st.holders
+}
+
+// Holds reports whether node holds line.
+func (d *Directory) Holds(l cache.Line, n Node) bool {
+	d.checkNode(n)
+	return d.HolderMask(l)&(1<<uint(n)) != 0
+}
+
+// Owner returns the node holding line dirty, or NoOwner.
+func (d *Directory) Owner(l cache.Line) Node {
+	st := d.lines[l]
+	if st == nil {
+		return NoOwner
+	}
+	return st.owner
+}
+
+// InvalidateExcept removes every holder of line other than keep and returns
+// the nodes that were invalidated. It implements the write path: a store
+// must make the writer the sole holder.
+func (d *Directory) InvalidateExcept(l cache.Line, keep Node) []Node {
+	d.checkNode(keep)
+	st := d.lines[l]
+	if st == nil {
+		return nil
+	}
+	var out []Node
+	m := st.holders &^ (1 << uint(keep))
+	for m != 0 {
+		n := bits.TrailingZeros64(m)
+		out = append(out, Node(n))
+		m &^= 1 << uint(n)
+	}
+	st.holders &= 1 << uint(keep)
+	if st.owner != keep {
+		st.owner = NoOwner
+	}
+	if st.holders == 0 {
+		delete(d.lines, l)
+	}
+	return out
+}
+
+// SharerCount returns the number of holders of line.
+func (d *Directory) SharerCount(l cache.Line) int {
+	return bits.OnesCount64(d.HolderMask(l))
+}

@@ -1,0 +1,91 @@
+package core
+
+import "repro/internal/trace"
+
+// This file implements the read-only replication extension (paper §6.2):
+//
+//	"sometimes it is better to replicate read-only objects and other
+//	 times it might be better to schedule more distinct objects"
+//
+// A placed object whose operations are overwhelmingly read-only and which
+// is hot enough that a single core would serialize its operations gets one
+// replica per chip. Operations then run on the chip-local replica core,
+// removing both the cross-chip migrations and the single-core bottleneck.
+// Any write-capable operation collapses the replicas back to a single
+// primary before it runs, preserving coherence of the scheduling decision.
+//
+// Replication trades cache capacity (N copies) for parallelism; the
+// ablation benchmark (`o2bench ablation -exp=replication`) measures both
+// sides of that trade.
+
+// maybeReplicate promotes oi to one-replica-per-chip when it qualifies.
+func (rt *Runtime) maybeReplicate(oi *objInfo) {
+	if !rt.opts.EnableReplication || len(oi.replicas) > 0 || !oi.placed {
+		return
+	}
+	if oi.ops < rt.opts.ReplicateMinOps {
+		return
+	}
+	if float64(oi.readOps)/float64(oi.ops) < rt.opts.ReplicateReadRatio {
+		return
+	}
+	cfg := rt.mach.Config()
+	if cfg.Chips < 2 {
+		return // nothing to spread across
+	}
+
+	// Choose one core per chip: the primary keeps its core; other chips
+	// contribute their least-loaded core with room.
+	primary := oi.core
+	replicas := []int{primary}
+	for chip := 0; chip < cfg.Chips; chip++ {
+		if chip == cfg.ChipOf(primary) {
+			continue
+		}
+		best, bestLoad := -1, int64(1<<62)
+		for _, c := range cfg.CoresOf(chip) {
+			if rt.coreLoad[c]+oi.bytes() > rt.budget {
+				continue
+			}
+			if rt.coreLoad[c] < bestLoad {
+				best, bestLoad = c, rt.coreLoad[c]
+			}
+		}
+		if best >= 0 {
+			replicas = append(replicas, best)
+		}
+	}
+	if len(replicas) < 2 {
+		return // no chip had room; stay single-copy
+	}
+	// Account the extra copies against the replica cores' budgets.
+	for _, c := range replicas[1:] {
+		rt.coreLoad[c] += oi.bytes()
+	}
+	oi.replicas = replicas
+	rt.stats.Replications++
+	rt.opts.Tracer.Emit(trace.Event{At: rt.sys.Engine().Now(), Kind: trace.EvReplicate,
+		Subject: uint64(oi.obj.Base), Name: oi.obj.Name, Arg1: int64(len(replicas))})
+}
+
+// collapseReplicas reverts oi to a single placement on its primary core
+// (called before any write-capable operation).
+func (rt *Runtime) collapseReplicas(oi *objInfo) {
+	if len(oi.replicas) == 0 {
+		return
+	}
+	for _, c := range oi.replicas[1:] {
+		rt.coreLoad[c] -= oi.bytes()
+	}
+	n := len(oi.replicas)
+	oi.core = oi.replicas[0]
+	oi.replicas = nil
+	rt.stats.ReplicaCollapse++
+	rt.opts.Tracer.Emit(trace.Event{At: rt.sys.Engine().Now(), Kind: trace.EvCollapse,
+		Subject: uint64(oi.obj.Base), Name: oi.obj.Name, Arg1: int64(n)})
+	// Restart the read/write statistics: the object must re-earn
+	// replication with ReplicateMinOps fresh read-only operations, or a
+	// write-heavy phase would collapse and re-replicate every operation.
+	oi.ops = 0
+	oi.readOps = 0
+}

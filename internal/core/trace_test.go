@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/trace"
+)
+
+func TestRuntimeEmitsTraceEvents(t *testing.T) {
+	opts := noRebalance()
+	tr := trace.New(1024)
+	opts.Tracer = tr
+	h := newHarness(t, opts)
+	obj := h.alloc(t, "dir0", 128<<10)
+	h.sys.Go("warm", 5, func(th *exec.Thread) {
+		for i := 0; i < 4; i++ {
+			scanOp(h.rt, th, obj)
+		}
+	})
+	h.sys.Go("visitor", 9, func(th *exec.Thread) {
+		th.Compute(3_000_000)
+		scanOp(h.rt, th, obj)
+	})
+	h.eng.Run(0)
+
+	if tr.Count(trace.EvPlace) != 1 {
+		t.Fatalf("placements traced = %d, want 1", tr.Count(trace.EvPlace))
+	}
+	if tr.Count(trace.EvMigrate) == 0 {
+		t.Fatal("no migration events traced")
+	}
+	// The placement event must carry the object's name and core.
+	ev := tr.Filter(trace.EvPlace)[0]
+	if ev.Name != "dir0" {
+		t.Fatalf("place event names %q", ev.Name)
+	}
+	core, _ := h.rt.Placement(obj.Base)
+	if ev.Arg1 != int64(core) {
+		t.Fatalf("place event core %d, want %d", ev.Arg1, core)
+	}
+	var sb strings.Builder
+	tr.Dump(&sb)
+	if !strings.Contains(sb.String(), "dir0 -> core") {
+		t.Fatalf("dump unreadable:\n%s", sb.String())
+	}
+}
+
+func TestMonitorEmitsUnplaceReason(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RebalanceInterval = 500_000
+	opts.DecayWindow = 0
+	opts.UnplaceDRAMFrac = 0.10
+	tr := trace.New(4096)
+	opts.Tracer = tr
+	h := newHarness(t, opts)
+
+	obj := h.alloc(t, "big", 768<<10)
+	stream := h.alloc(t, "stream", 6<<20)
+	h.sys.Go("scanner", 0, func(th *exec.Thread) {
+		for i := 0; i < 40; i++ {
+			scanOp(h.rt, th, obj)
+		}
+	})
+	for i := 1; i < 4; i++ {
+		h.sys.Go("polluter", i, func(th *exec.Thread) {
+			for r := 0; r < 30; r++ {
+				th.LoadCompute(stream.Base, int(stream.Size)/4, 0.01)
+				th.Yield()
+			}
+		})
+	}
+	h.eng.Run(0)
+
+	found := false
+	for _, ev := range tr.Filter(trace.EvUnplace) {
+		if ev.Arg2 != 0 && ev.Name == "big" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no dram-ineffective unplace event traced")
+	}
+}
+
+func TestNoTracerIsFree(t *testing.T) {
+	// Options without a tracer must work (nil Tracer throughout).
+	h := newHarness(t, noRebalance())
+	obj := h.alloc(t, "dir0", 64<<10)
+	h.sys.Go("w", 0, func(th *exec.Thread) {
+		for i := 0; i < 4; i++ {
+			scanOp(h.rt, th, obj)
+		}
+	})
+	h.eng.Run(0) // would panic if Emit were not nil-safe
+}

@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Batch accumulates the cost of a sequence of memory accesses and compute
+// and charges them to the thread in a single simulated-time advance.
+//
+// Simulated programs like the FAT file system touch memory at fine grain
+// (32-byte directory entries, 2-byte FAT cells). Advancing simulated time
+// per touch would cost one engine event each; a Batch instead threads the
+// accumulated latency through the machine model (so cache and directory
+// state stay exact) and performs one Sleep at Commit. The approximation —
+// other cores' accesses interleave at operation rather than word
+// granularity — is the standard trade simulators make.
+type Batch struct {
+	t       *Thread
+	memLat  sim.Cycles
+	compute float64
+}
+
+// NewBatch starts an empty batch on t.
+func (t *Thread) NewBatch() *Batch { return &Batch{t: t} }
+
+// Load charges a read of [addr, addr+n).
+func (b *Batch) Load(addr mem.Addr, n int) {
+	b.memLat += b.t.sys.mach.Load(b.t.core, addr, n, b.t.proc.Now()+b.memLat)
+}
+
+// Store charges a write of [addr, addr+n).
+func (b *Batch) Store(addr mem.Addr, n int) {
+	b.memLat += b.t.sys.mach.Store(b.t.core, addr, n, b.t.proc.Now()+b.memLat)
+}
+
+// Compute charges c cycles of computation (fractions accumulate and are
+// rounded once at Commit).
+func (b *Batch) Compute(c float64) { b.compute += c }
+
+// Pending returns the cost accumulated so far.
+func (b *Batch) Pending() sim.Cycles {
+	return b.memLat + sim.Cycles(b.compute*b.t.sys.mach.Config().SpeedOf(b.t.core))
+}
+
+// Commit advances the thread's simulated time by the accumulated cost and
+// resets the batch for reuse.
+func (b *Batch) Commit() {
+	total := b.Pending()
+	b.memLat = 0
+	b.compute = 0
+	b.t.advance(total)
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestBatchAccumulatesAndCommits(t *testing.T) {
+	eng, s := newSys(t)
+	var before, after sim.Time
+	s.Go("w", 0, func(th *Thread) {
+		b := th.NewBatch()
+		before = th.Now()
+		b.Load(0, 64)    // cold DRAM line
+		b.Load(0, 64)    // now warm: L1
+		b.Compute(100.5) // fractions accumulate
+		b.Compute(99.5)
+		if th.Now() != before {
+			t.Error("batch advanced time before Commit")
+		}
+		b.Commit()
+		after = th.Now()
+	})
+	eng.Run(0)
+	lat := s.Machine().Config().Lat
+	wantMin := sim.Time(lat.DRAMLocal + lat.L1Hit + 200)
+	if after-before != wantMin {
+		t.Fatalf("batch charged %d cycles, want %d", after-before, wantMin)
+	}
+}
+
+func TestBatchReusableAfterCommit(t *testing.T) {
+	eng, s := newSys(t)
+	var d1, d2 sim.Time
+	s.Go("w", 0, func(th *Thread) {
+		b := th.NewBatch()
+		b.Compute(500)
+		start := th.Now()
+		b.Commit()
+		d1 = th.Now() - start
+		b.Compute(300)
+		start = th.Now()
+		b.Commit()
+		d2 = th.Now() - start
+	})
+	eng.Run(0)
+	if d1 != 500 || d2 != 300 {
+		t.Fatalf("commits charged %d,%d, want 500,300 (batch must reset)", d1, d2)
+	}
+}
+
+func TestBatchEmptyCommitFree(t *testing.T) {
+	eng, s := newSys(t)
+	s.Go("w", 0, func(th *Thread) {
+		th.NewBatch().Commit()
+	})
+	eng.Run(0)
+	if eng.Now() != 0 {
+		t.Fatalf("empty commit cost %d cycles", eng.Now())
+	}
+}
+
+func TestBatchPendingReflectsCosts(t *testing.T) {
+	eng, s := newSys(t)
+	s.Go("w", 0, func(th *Thread) {
+		b := th.NewBatch()
+		if b.Pending() != 0 {
+			t.Error("fresh batch has pending cost")
+		}
+		b.Compute(250)
+		if b.Pending() != 250 {
+			t.Errorf("Pending = %d, want 250", b.Pending())
+		}
+	})
+	eng.Run(0)
+}
+
+func TestBatchTimestampsThreadThrough(t *testing.T) {
+	// Later accesses in a batch must be issued at their future
+	// timestamps, so machine state (e.g. bandwidth accounting windows)
+	// sees them at the right simulated instant.
+	eng, s := newSys(t)
+	s.Go("w", 0, func(th *Thread) {
+		b := th.NewBatch()
+		// 200 distinct cold lines homed across controllers: with
+		// correct future timestamps these spread over many 4096-cycle
+		// accounting windows and queue only modestly.
+		for i := 0; i < 200; i++ {
+			b.Load(mem.Addr(i*64), 64)
+		}
+		b.Commit()
+	})
+	eng.Run(0)
+	// 200 cold loads at ~230-336 each ≈ 57k cycles; runaway queueing
+	// would push this far higher.
+	if eng.Now() > 80_000 {
+		t.Fatalf("batched scan cost %d cycles; bandwidth accounting misbehaving", eng.Now())
+	}
+	if eng.Now() < 40_000 {
+		t.Fatalf("batched scan cost only %d cycles; latencies not charged", eng.Now())
+	}
+}
+
+func TestBatchStoresAcquireOwnership(t *testing.T) {
+	eng, s := newSys(t)
+	addr := mem.Addr(4096)
+	s.Go("reader", 1, func(th *Thread) {
+		th.Load(addr, 64)
+	})
+	s.Go("writer", 0, func(th *Thread) {
+		th.Compute(5000) // let the reader cache it first
+		b := th.NewBatch()
+		b.Store(addr, 64)
+		b.Commit()
+	})
+	eng.Run(0)
+	if got := s.Machine().Counters().Snapshot(0).Invalidations; got == 0 {
+		t.Fatal("batched store did not invalidate the remote copy")
+	}
+}

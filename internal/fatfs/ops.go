@@ -1,0 +1,504 @@
+package fatfs
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Dir identifies a directory: the root's fixed region or a subdirectory's
+// cluster chain.
+type Dir struct {
+	fs           *FS
+	firstCluster int // 0 for the root directory
+}
+
+// Root returns the root directory.
+func (fs *FS) Root() Dir { return Dir{fs: fs} }
+
+// IsRoot reports whether d is the root directory.
+func (d Dir) IsRoot() bool { return d.firstCluster == 0 }
+
+// FirstCluster returns the first cluster of a subdirectory (0 for root).
+func (d Dir) FirstCluster() int { return d.firstCluster }
+
+// Entry is a decoded directory entry.
+type Entry struct {
+	Name         string
+	Attr         byte
+	FirstCluster int
+	Size         uint32
+
+	// Index is the slot index within the containing directory; Addr is
+	// the simulated address of the 32-byte entry.
+	Index int
+	Addr  mem.Addr
+}
+
+// IsDir reports whether the entry names a subdirectory.
+func (e Entry) IsDir() bool { return e.Attr&attrDirectory != 0 }
+
+// Dir converts a directory entry into a Dir handle.
+func (e Entry) Dir(fs *FS) (Dir, error) {
+	if !e.IsDir() {
+		return Dir{}, fmt.Errorf("fatfs: %q is not a directory", e.Name)
+	}
+	return Dir{fs: fs, firstCluster: e.FirstCluster}, nil
+}
+
+// ErrNotFound is returned by Lookup when no entry matches.
+type ErrNotFound struct{ Name string }
+
+func (e ErrNotFound) Error() string { return fmt.Sprintf("fatfs: %q not found", e.Name) }
+
+// forEachSlot visits directory slots in order until fn returns false.
+// Slot loads are NOT charged here — visitors charge what they touch —
+// but FAT hops between a subdirectory's clusters are.
+func (fs *FS) forEachSlot(acc Access, d Dir, fn func(addr mem.Addr, idx int) bool) {
+	if d.IsRoot() {
+		for i := 0; i < fs.cfg.RootEntries; i++ {
+			if !fn(fs.rootBase+mem.Addr(i*DirEntrySize), i) {
+				return
+			}
+		}
+		return
+	}
+	perCluster := fs.clusterBytes / DirEntrySize
+	cl := d.firstCluster
+	idx := 0
+	for cl >= minCluster {
+		base := fs.clusterAddr(cl)
+		for s := 0; s < perCluster; s++ {
+			if !fn(base+mem.Addr(s*DirEntrySize), idx) {
+				return
+			}
+			idx++
+		}
+		next := fs.readFAT(acc, cl)
+		if next >= fatEndOfFile {
+			return
+		}
+		cl = int(next)
+	}
+}
+
+// decodeEntry parses the dirent at addr (bytes must already be charged).
+func (fs *FS) decodeEntry(addr mem.Addr, idx int) Entry {
+	b := fs.img.Bytes(addr, DirEntrySize)
+	var raw [11]byte
+	copy(raw[:], b[:11])
+	return Entry{
+		Name:         DecodeName(raw),
+		Attr:         b[11],
+		FirstCluster: int(uint16(b[26]) | uint16(b[27])<<8),
+		Size:         uint32(b[28]) | uint32(b[29])<<8 | uint32(b[30])<<16 | uint32(b[31])<<24,
+		Index:        idx,
+		Addr:         addr,
+	}
+}
+
+// writeEntry emits a dirent at addr, charging acc.
+func (fs *FS) writeEntry(acc Access, addr mem.Addr, raw [11]byte, attr byte, firstCluster int, size uint32) {
+	b := make([]byte, DirEntrySize)
+	copy(b[:11], raw[:])
+	b[11] = attr
+	b[26], b[27] = byte(firstCluster), byte(firstCluster>>8)
+	b[28], b[29], b[30], b[31] = byte(size), byte(size>>8), byte(size>>16), byte(size>>24)
+	acc.Store(addr, DirEntrySize)
+	fs.img.WriteAt(addr, b)
+}
+
+// Lookup scans d for name, charging acc for every entry read until the
+// match — the paper's inner loop ("Search dir for file", Fig. 1). It
+// returns ErrNotFound when the directory does not contain name.
+func (fs *FS) Lookup(acc Access, d Dir, name string) (Entry, error) {
+	raw, err := EncodeName(name)
+	if err != nil {
+		return Entry{}, err
+	}
+	var found *Entry
+	fs.forEachSlot(acc, d, func(addr mem.Addr, idx int) bool {
+		// EFSL reads directories a sector at a time; charge the load
+		// once per 512-byte sector, then compare entries from it.
+		if addr%SectorSize == 0 {
+			acc.Load(addr, SectorSize)
+		}
+		acc.Compute(CompareCost)
+		b := fs.img.Bytes(addr, DirEntrySize)
+		switch b[0] {
+		case 0x00: // end-of-directory marker
+			return false
+		case 0xE5: // deleted
+			return true
+		}
+		for i := 0; i < 11; i++ {
+			if b[i] != raw[i] {
+				return true
+			}
+		}
+		e := fs.decodeEntry(addr, idx)
+		found = &e
+		return false
+	})
+	if found == nil {
+		return Entry{}, ErrNotFound{Name: name}
+	}
+	return *found, nil
+}
+
+// LookupPath resolves a "/"-separated path from the root, charging every
+// directory scan along the way.
+func (fs *FS) LookupPath(acc Access, path string) (Entry, error) {
+	d := fs.Root()
+	var e Entry
+	start := 0
+	if len(path) > 0 && path[0] == '/' {
+		start = 1
+	}
+	rest := path[start:]
+	if rest == "" {
+		return Entry{}, fmt.Errorf("fatfs: empty path %q", path)
+	}
+	for rest != "" {
+		comp := rest
+		if i := indexByte(rest, '/'); i >= 0 {
+			comp, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		var err error
+		e, err = fs.Lookup(acc, d, comp)
+		if err != nil {
+			return Entry{}, err
+		}
+		if rest != "" {
+			d, err = e.Dir(fs)
+			if err != nil {
+				return Entry{}, err
+			}
+		}
+	}
+	return e, nil
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// findFreeSlot returns the first free slot address in d, charging the scan.
+func (fs *FS) findFreeSlot(acc Access, d Dir) (mem.Addr, int, error) {
+	var addr mem.Addr
+	idx := -1
+	fs.forEachSlot(acc, d, func(a mem.Addr, i int) bool {
+		acc.Load(a, 1)
+		b := fs.img.Bytes(a, 1)[0]
+		if b == 0x00 || b == 0xE5 {
+			addr, idx = a, i
+			return false
+		}
+		return true
+	})
+	if idx < 0 {
+		return 0, 0, fmt.Errorf("fatfs: directory full")
+	}
+	return addr, idx, nil
+}
+
+// Create adds a file named name to d with the given contents (which may be
+// empty). It fails if the name already exists.
+func (fs *FS) Create(acc Access, d Dir, name string, data []byte) (Entry, error) {
+	raw, err := EncodeName(name)
+	if err != nil {
+		return Entry{}, err
+	}
+	if _, err := fs.Lookup(acc, d, name); err == nil {
+		return Entry{}, fmt.Errorf("fatfs: %q already exists", name)
+	}
+	addr, idx, err := fs.findFreeSlot(acc, d)
+	if err != nil {
+		return Entry{}, err
+	}
+	first := 0
+	if len(data) > 0 {
+		first, err = fs.writeNewChain(acc, data)
+		if err != nil {
+			return Entry{}, err
+		}
+	}
+	fs.writeEntry(acc, addr, raw, attrArchive, first, uint32(len(data)))
+	return fs.decodeEntry(addr, idx), nil
+}
+
+// writeNewChain allocates clusters for data and writes it, returning the
+// first cluster.
+func (fs *FS) writeNewChain(acc Access, data []byte) (int, error) {
+	first, prev := 0, 0
+	for off := 0; off < len(data); off += fs.clusterBytes {
+		cl, err := fs.allocCluster(acc)
+		if err != nil {
+			if first != 0 {
+				fs.freeChain(acc, first)
+			}
+			return 0, err
+		}
+		if first == 0 {
+			first = cl
+		} else {
+			fs.setFAT(acc, prev, uint16(cl))
+		}
+		prev = cl
+		end := off + fs.clusterBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		acc.Store(fs.clusterAddr(cl), end-off)
+		fs.img.WriteAt(fs.clusterAddr(cl), data[off:end])
+	}
+	return first, nil
+}
+
+// Mkdir creates a subdirectory under parent with capacity for at least
+// capEntries entries, allocated contiguously so the directory forms a
+// single span (a CoreTime object). The paper's benchmark directories are
+// created with capacity 1000.
+func (fs *FS) Mkdir(acc Access, parent Dir, name string, capEntries int) (Dir, error) {
+	raw, err := EncodeName(name)
+	if err != nil {
+		return Dir{}, err
+	}
+	if _, err := fs.Lookup(acc, parent, name); err == nil {
+		return Dir{}, fmt.Errorf("fatfs: %q already exists", name)
+	}
+	if capEntries < 1 {
+		capEntries = 1
+	}
+	bytes := capEntries * DirEntrySize
+	clusters := (bytes + fs.clusterBytes - 1) / fs.clusterBytes
+	first, err := fs.allocChainContiguous(acc, clusters)
+	if err != nil {
+		return Dir{}, err
+	}
+	// Zero the directory clusters (end-of-directory markers).
+	zero := make([]byte, fs.clusterBytes)
+	for i := 0; i < clusters; i++ {
+		a := fs.clusterAddr(first + i)
+		acc.Store(a, fs.clusterBytes)
+		fs.img.WriteAt(a, zero)
+	}
+	addr, _, err := fs.findFreeSlot(acc, parent)
+	if err != nil {
+		fs.freeChain(acc, first)
+		return Dir{}, err
+	}
+	fs.writeEntry(acc, addr, raw, attrDirectory, first, 0)
+	return Dir{fs: fs, firstCluster: first}, nil
+}
+
+// Populate bulk-creates count zero-length files in d named by namer,
+// writing entries sequentially. It is the fast path for building benchmark
+// directories (1,000 entries each) without O(n²) free-slot scans; it
+// assumes d is empty.
+func (fs *FS) Populate(d Dir, count int, namer func(i int) string) error {
+	written := 0
+	var failure error
+	fs.forEachSlot(NullAccess{}, d, func(addr mem.Addr, idx int) bool {
+		if written >= count {
+			return false
+		}
+		raw, err := EncodeName(namer(written))
+		if err != nil {
+			failure = err
+			return false
+		}
+		fs.writeEntry(NullAccess{}, addr, raw, attrArchive, 0, 0)
+		written++
+		return true
+	})
+	if failure != nil {
+		return failure
+	}
+	if written < count {
+		return fmt.Errorf("fatfs: directory holds %d of %d entries", written, count)
+	}
+	return nil
+}
+
+// ReadDir returns the live entries of d. Each slot read is charged.
+func (fs *FS) ReadDir(acc Access, d Dir) []Entry {
+	var out []Entry
+	fs.forEachSlot(acc, d, func(addr mem.Addr, idx int) bool {
+		acc.Load(addr, DirEntrySize)
+		b := fs.img.Bytes(addr, 1)[0]
+		if b == 0x00 {
+			return false
+		}
+		if b == 0xE5 {
+			return true
+		}
+		out = append(out, fs.decodeEntry(addr, idx))
+		return true
+	})
+	return out
+}
+
+// ReadAll returns a file's contents, charging the chain walk and data
+// loads.
+func (fs *FS) ReadAll(acc Access, e Entry) ([]byte, error) {
+	if e.IsDir() {
+		return nil, fmt.Errorf("fatfs: %q is a directory", e.Name)
+	}
+	out := make([]byte, 0, e.Size)
+	remaining := int(e.Size)
+	if remaining == 0 {
+		return out, nil
+	}
+	clusters, err := fs.chain(acc, e.FirstCluster)
+	if err != nil {
+		return nil, err
+	}
+	for _, cl := range clusters {
+		n := remaining
+		if n > fs.clusterBytes {
+			n = fs.clusterBytes
+		}
+		a := fs.clusterAddr(cl)
+		acc.Load(a, n)
+		out = append(out, fs.img.ReadAt(a, n)...)
+		remaining -= n
+		if remaining == 0 {
+			break
+		}
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("fatfs: %q chain shorter than size %d", e.Name, e.Size)
+	}
+	return out, nil
+}
+
+// WriteFile replaces the contents of the file entry e with data,
+// reallocating its chain.
+func (fs *FS) WriteFile(acc Access, e *Entry, data []byte) error {
+	if e.IsDir() {
+		return fmt.Errorf("fatfs: %q is a directory", e.Name)
+	}
+	if e.FirstCluster != 0 {
+		fs.freeChain(acc, e.FirstCluster)
+	}
+	first := 0
+	if len(data) > 0 {
+		var err error
+		first, err = fs.writeNewChain(acc, data)
+		if err != nil {
+			return err
+		}
+	}
+	e.FirstCluster = first
+	e.Size = uint32(len(data))
+	var raw [11]byte
+	copy(raw[:], fs.img.Bytes(e.Addr, 11))
+	fs.writeEntry(acc, e.Addr, raw, e.Attr, first, e.Size)
+	return nil
+}
+
+// Unlink removes the named file or (empty) directory from d.
+func (fs *FS) Unlink(acc Access, d Dir, name string) error {
+	e, err := fs.Lookup(acc, d, name)
+	if err != nil {
+		return err
+	}
+	if e.IsDir() {
+		sub, _ := e.Dir(fs)
+		if len(fs.ReadDir(NullAccess{}, sub)) != 0 {
+			return fmt.Errorf("fatfs: directory %q not empty", name)
+		}
+	}
+	if e.FirstCluster != 0 {
+		fs.freeChain(acc, e.FirstCluster)
+	}
+	acc.Store(e.Addr, 1)
+	fs.img.Bytes(e.Addr, 1)[0] = 0xE5
+	return nil
+}
+
+// Extent returns the contiguous byte span of a directory's entry storage,
+// for registration as a CoreTime object. It fails if the chain is not
+// contiguous (directories made with Mkdir always are).
+func (fs *FS) Extent(d Dir) (mem.Span, error) {
+	if d.IsRoot() {
+		return mem.Span{Base: fs.rootBase, Size: uint64(fs.cfg.RootEntries * DirEntrySize)}, nil
+	}
+	clusters, err := fs.chain(NullAccess{}, d.firstCluster)
+	if err != nil {
+		return mem.Span{}, err
+	}
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i] != clusters[i-1]+1 {
+			return mem.Span{}, fmt.Errorf("fatfs: directory chain not contiguous at cluster %d", clusters[i])
+		}
+	}
+	return mem.Span{
+		Base: fs.clusterAddr(clusters[0]),
+		Size: uint64(len(clusters) * fs.clusterBytes),
+	}, nil
+}
+
+// FreeClusters counts free FAT cells (host-side, uncharged).
+func (fs *FS) FreeClusters() int {
+	n := 0
+	for i := minCluster; i < fs.nclusters+minCluster; i++ {
+		if fs.img.Read16(fs.fatAddr(i)) == fatFree {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckConsistency validates the volume like a small fsck: every reachable
+// chain is acyclic and terminated, no cluster belongs to two chains, and
+// file sizes fit their chains. It returns the first problem found.
+func (fs *FS) CheckConsistency() error {
+	owner := make(map[int]string)
+	var walk func(d Dir, path string) error
+	walk = func(d Dir, path string) error {
+		for _, e := range fs.ReadDir(NullAccess{}, d) {
+			name := path + "/" + e.Name
+			if e.FirstCluster == 0 {
+				if e.IsDir() {
+					return fmt.Errorf("fatfs: directory %s has no clusters", name)
+				}
+				if e.Size != 0 {
+					return fmt.Errorf("fatfs: file %s has size %d but no clusters", name, e.Size)
+				}
+				continue
+			}
+			clusters, err := fs.chain(NullAccess{}, e.FirstCluster)
+			if err != nil {
+				return fmt.Errorf("fatfs: %s: %w", name, err)
+			}
+			for _, cl := range clusters {
+				if prev, dup := owner[cl]; dup {
+					return fmt.Errorf("fatfs: cluster %d owned by both %s and %s", cl, prev, name)
+				}
+				owner[cl] = name
+			}
+			if !e.IsDir() {
+				capacity := len(clusters) * fs.clusterBytes
+				if int(e.Size) > capacity {
+					return fmt.Errorf("fatfs: %s size %d exceeds chain capacity %d", name, e.Size, capacity)
+				}
+			} else {
+				sub, _ := e.Dir(fs)
+				if err := walk(sub, name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(fs.Root(), "")
+}

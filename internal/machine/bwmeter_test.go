@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBWMeterUnderCapacityFree(t *testing.T) {
+	m := newBWMeter(16) // capacity 4096/16 = 256 per window
+	for i := 0; i < 256; i++ {
+		if d := m.reserve(sim.Time(i)); d != 0 {
+			t.Fatalf("transfer %d delayed %d cycles under capacity", i, d)
+		}
+	}
+}
+
+func TestBWMeterOverflowDelaysLinearly(t *testing.T) {
+	m := newBWMeter(16)
+	for i := 0; i < 256; i++ {
+		m.reserve(100)
+	}
+	for k := 1; k <= 5; k++ {
+		if d := m.reserve(100); d != sim.Cycles(k*16) {
+			t.Fatalf("overflow %d delayed %d, want %d", k, d, k*16)
+		}
+	}
+}
+
+func TestBWMeterWindowsIndependent(t *testing.T) {
+	m := newBWMeter(16)
+	for i := 0; i < 400; i++ {
+		m.reserve(0) // saturate window 0
+	}
+	if d := m.reserve(5000); d != 0 {
+		t.Fatalf("fresh window inherited %d cycles of delay", d)
+	}
+}
+
+func TestBWMeterOrderIndependence(t *testing.T) {
+	// Demand counted in window W must not affect accesses in windows
+	// before W, regardless of the order reservations arrive.
+	m := newBWMeter(16)
+	m.reserve(100_000) // far-future access first
+	if d := m.reserve(0); d != 0 {
+		t.Fatalf("past access delayed %d by future reservation", d)
+	}
+}
+
+func TestBWMeterDisabled(t *testing.T) {
+	m := newBWMeter(0)
+	for i := 0; i < 10_000; i++ {
+		if m.reserve(0) != 0 {
+			t.Fatal("disabled meter delayed a transfer")
+		}
+	}
+}
+
+func TestBWMeterReset(t *testing.T) {
+	m := newBWMeter(16)
+	for i := 0; i < 300; i++ {
+		m.reserve(50)
+	}
+	m.reset()
+	if d := m.reserve(50); d != 0 {
+		t.Fatalf("reset meter still delayed %d", d)
+	}
+}
+
+func TestBWMeterDelayMonotoneWithinWindow(t *testing.T) {
+	f := func(seed uint8) bool {
+		m := newBWMeter(sim.Cycles(seed%32) + 1)
+		var prev sim.Cycles
+		for i := 0; i < 2000; i++ {
+			d := m.reserve(1) // all in one window
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBWMeterRingReuse(t *testing.T) {
+	// Windows far apart reuse ring slots; counts must not leak between
+	// windows that share a slot (w and w+64).
+	m := newBWMeter(16)
+	for i := 0; i < 300; i++ {
+		m.reserve(0) // window 0, overflowing
+	}
+	at := sim.Time(64 * 4096) // window 64 → same ring slot as window 0
+	if d := m.reserve(at); d != 0 {
+		t.Fatalf("ring slot leaked %d cycles of demand across windows", d)
+	}
+}

@@ -1,0 +1,500 @@
+// Package machine composes the simulated multicore: per-core L1/L2 caches,
+// per-chip victim L3s, a MOESI-style coherence directory, distance-dependent
+// interconnect latencies, bandwidth-limited DRAM controllers, and per-core
+// event counters.
+//
+// The central entry point is Access (and the Load/Store/AccessRange
+// wrappers): given a core, an address range, and the current simulated
+// time, it walks the hierarchy exactly as the paper's AMD machine would —
+// L1, L2, chip L3, then the nearest remote cache or a DRAM bank — updates
+// cache and directory state, increments the event counters CoreTime's
+// monitor reads, and returns the access latency in cycles. Callers (the
+// execution substrate in internal/exec) advance simulated time by the
+// returned amount.
+//
+// Modeling choices that matter to the paper's results:
+//
+//   - The L3 is an exclusive victim cache (as on the paper's Opterons):
+//     lines live in L3 only after eviction from an L2. This is what makes
+//     the paper's "16 MB total on-chip = 4×2MB L3 + 16×512KB L2" capacity
+//     arithmetic hold.
+//   - DRAM controllers (one per chip, lines interleaved across chips by
+//     address) serve at most one line per DRAMServiceInterval cycles;
+//     excess demand queues. Saturating off-chip bandwidth is the failure
+//     mode O2 scheduling exists to avoid, so it must be first-class.
+//   - Coherence is MOESI-like: a dirty line can remain "owned" by one core
+//     while read-shared by others; a write invalidates all other copies.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/perfctr"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Machine is the simulated multicore system.
+type Machine struct {
+	cfg topology.Config
+	img *mem.Image
+	l1  []*cache.Cache // per core
+	l2  []*cache.Cache // per core
+	l3  []*cache.Cache // per chip
+	dir *coherence.Directory
+	ctr *perfctr.Set
+
+	// dram[chip] meters the chip's memory-controller bandwidth.
+	dram []bwMeter
+
+	lineSize int
+}
+
+// bwMeter models a bandwidth-limited resource with windowed accounting:
+// time is divided into fixed windows, each admitting capacity transfers;
+// transfers beyond capacity are delayed by their overflow position times
+// the service interval.
+//
+// This formulation is deliberately order-independent in the access
+// timestamp: simulated threads batch memory accesses and issue them with
+// future-dated timestamps, so a cursor-style "next free slot" model would
+// let one thread's in-flight batch delay every other thread's
+// present-time accesses. Windowed demand counting charges queueing where
+// the demand lands in time, whatever order the simulator discovers it.
+type bwMeter struct {
+	window   sim.Cycles // accounting window length
+	service  sim.Cycles // cycles per transfer
+	capacity uint32     // transfers admitted per window without delay
+	ring     [64]bwSlot
+}
+
+type bwSlot struct {
+	idx   uint64
+	count uint32
+}
+
+func newBWMeter(service sim.Cycles) bwMeter {
+	const window = 4096
+	m := bwMeter{window: window, service: service}
+	if service > 0 {
+		m.capacity = uint32(window / service)
+	}
+	return m
+}
+
+// reserve records one transfer at time at and returns its queueing delay.
+func (b *bwMeter) reserve(at sim.Time) sim.Cycles {
+	if b.capacity == 0 {
+		return 0
+	}
+	w := uint64(at) / uint64(b.window)
+	slot := &b.ring[w%uint64(len(b.ring))]
+	if slot.idx != w {
+		slot.idx = w
+		slot.count = 0
+	}
+	slot.count++
+	if slot.count <= b.capacity {
+		return 0
+	}
+	return sim.Cycles(slot.count-b.capacity) * b.service
+}
+
+// reset clears all accounted demand.
+func (b *bwMeter) reset() {
+	for i := range b.ring {
+		b.ring[i] = bwSlot{}
+	}
+}
+
+// New builds a machine from cfg with memBytes of simulated DRAM.
+func New(cfg topology.Config, memBytes int) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NumCores()
+	m := &Machine{
+		cfg:      cfg,
+		img:      mem.NewImage(memBytes),
+		l1:       make([]*cache.Cache, n),
+		l2:       make([]*cache.Cache, n),
+		l3:       make([]*cache.Cache, cfg.Chips),
+		dir:      coherence.NewDirectory(n + cfg.Chips),
+		ctr:      perfctr.NewSet(n),
+		dram:     make([]bwMeter, cfg.Chips),
+		lineSize: cfg.L1.LineSize,
+	}
+	for i := range m.dram {
+		m.dram[i] = newBWMeter(cfg.Lat.DRAMServiceInterval)
+	}
+	for i := 0; i < n; i++ {
+		m.l1[i] = cache.New(cfg.L1)
+		m.l2[i] = cache.New(cfg.L2)
+	}
+	for i := 0; i < cfg.Chips; i++ {
+		m.l3[i] = cache.New(cfg.L3)
+	}
+	return m, nil
+}
+
+// MustNew is New for configurations known valid at compile time (presets).
+func MustNew(cfg topology.Config, memBytes int) *Machine {
+	m, err := New(cfg, memBytes)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's topology.
+func (m *Machine) Config() topology.Config { return m.cfg }
+
+// Image returns the simulated physical memory.
+func (m *Machine) Image() *mem.Image { return m.img }
+
+// Counters returns the per-core event counters.
+func (m *Machine) Counters() *perfctr.Set { return m.ctr }
+
+// LineSize returns the cache line size in bytes.
+func (m *Machine) LineSize() int { return m.lineSize }
+
+// L1 returns core's L1 cache (for inspection and tests).
+func (m *Machine) L1(core int) *cache.Cache { return m.l1[core] }
+
+// L2 returns core's L2 cache.
+func (m *Machine) L2(core int) *cache.Cache { return m.l2[core] }
+
+// L3 returns chip's shared L3 cache.
+func (m *Machine) L3(chip int) *cache.Cache { return m.l3[chip] }
+
+// Directory returns the coherence directory (for inspection and tests).
+func (m *Machine) Directory() *coherence.Directory { return m.dir }
+
+// coreNode and l3Node map hardware structures to directory nodes.
+func (m *Machine) coreNode(core int) coherence.Node { return coherence.Node(core) }
+func (m *Machine) l3Node(chip int) coherence.Node {
+	return coherence.Node(m.cfg.NumCores() + chip)
+}
+
+// homeChip returns the chip whose memory controller owns a line. Lines are
+// interleaved across chips by line number, the usual commodity policy.
+func (m *Machine) homeChip(l cache.Line) int { return int(uint64(l) % uint64(m.cfg.Chips)) }
+
+// Access performs one memory access of up to a cache line at addr and
+// returns its latency. `at` is the simulated time the access issues;
+// callers performing batched scans pass at + (latency accumulated so far).
+func (m *Machine) Access(core int, addr mem.Addr, write bool, at sim.Time) sim.Cycles {
+	return m.accessLine(core, cache.LineOf(addr, m.lineSize), write, at)
+}
+
+// Load charges a read of [addr, addr+size) and returns its total latency.
+// The range may span many lines; each is charged in sequence.
+func (m *Machine) Load(core int, addr mem.Addr, size int, at sim.Time) sim.Cycles {
+	return m.AccessRange(core, addr, size, false, at)
+}
+
+// Store charges a write of [addr, addr+size) and returns its total latency.
+func (m *Machine) Store(core int, addr mem.Addr, size int, at sim.Time) sim.Cycles {
+	return m.AccessRange(core, addr, size, true, at)
+}
+
+// AccessRange charges an access to every line overlapping
+// [addr, addr+size), serialized, and returns the total latency.
+func (m *Machine) AccessRange(core int, addr mem.Addr, size int, write bool, at sim.Time) sim.Cycles {
+	if size <= 0 {
+		return 0
+	}
+	first := cache.LineOf(addr, m.lineSize)
+	last := cache.LineOf(addr+mem.Addr(size-1), m.lineSize)
+	var total sim.Cycles
+	for l := first; l <= last; l++ {
+		total += m.accessLine(core, l, write, at+total)
+	}
+	return total
+}
+
+// accessLine is the heart of the model: one core touching one line.
+func (m *Machine) accessLine(core int, l cache.Line, write bool, at sim.Time) sim.Cycles {
+	c := m.ctr.Core(core)
+	if write {
+		c.Stores++
+	} else {
+		c.Loads++
+	}
+
+	lat, ok := m.lookupLocal(core, l, c)
+	if !ok {
+		lat = m.fetchMiss(core, l, write, at, c)
+	}
+
+	if write {
+		lat += m.acquireOwnership(core, l, c)
+	}
+	c.StallCycles += uint64(lat)
+	return lat
+}
+
+// lookupLocal checks the core's private hierarchy and chip L3.
+func (m *Machine) lookupLocal(core int, l cache.Line, c *perfctr.Counters) (sim.Cycles, bool) {
+	if m.l1[core].Lookup(l) {
+		m.l2[core].Lookup(l) // keep L2 recency in step (inclusive hierarchy)
+		return m.cfg.Lat.L1Hit, true
+	}
+	c.L1Miss++
+	if m.l2[core].Lookup(l) {
+		c.L2Loads++
+		m.installL1(core, l)
+		return m.cfg.Lat.L2Hit, true
+	}
+	c.L2Miss++
+	chip := m.cfg.ChipOf(core)
+	if m.l3[chip].Contains(l) {
+		// Exclusive victim L3: a hit promotes the line back into the
+		// core's private hierarchy and removes it from L3.
+		wasDirty, _ := m.l3[chip].Remove(l)
+		m.dir.RemoveSharer(l, m.l3Node(chip))
+		c.L3Loads++
+		m.installCore(core, l, wasDirty)
+		return m.cfg.Lat.L3Hit, true
+	}
+	c.L3Miss++
+	return 0, false
+}
+
+// fetchMiss services a miss from the nearest remote cache or DRAM.
+func (m *Machine) fetchMiss(core int, l cache.Line, write bool, at sim.Time, c *perfctr.Counters) sim.Cycles {
+	myChip := m.cfg.ChipOf(core)
+	var lat sim.Cycles
+	if srcChip, found := m.nearestHolderChip(core, l); found {
+		lat = m.cfg.RemoteCacheLatency(myChip, srcChip)
+		c.RemoteFetches++
+	} else {
+		home := m.homeChip(l)
+		lat = m.cfg.DRAMLatency(myChip, home) + m.dramQueue(home, at)
+		c.DRAMLoads++
+	}
+	m.installCore(core, l, false)
+	return lat
+}
+
+// nearestHolderChip finds the chip of the closest cache holding the line.
+// The requesting core itself cannot be a holder (it just missed).
+func (m *Machine) nearestHolderChip(core int, l cache.Line) (chip int, found bool) {
+	mask := m.dir.HolderMask(l)
+	if mask == 0 {
+		return 0, false
+	}
+	myChip := m.cfg.ChipOf(core)
+	best, bestDist := 0, int(^uint(0)>>1)
+	ncores := m.cfg.NumCores()
+	for node := 0; node < m.dir.Nodes(); node++ {
+		if mask&(1<<uint(node)) == 0 {
+			continue
+		}
+		var holderChip int
+		if node < ncores {
+			holderChip = m.cfg.ChipOf(node)
+		} else {
+			holderChip = node - ncores
+		}
+		d := m.cfg.HopDistance(myChip, holderChip)
+		if d < bestDist {
+			best, bestDist = holderChip, d
+			if d == 0 {
+				break
+			}
+		}
+	}
+	return best, true
+}
+
+// dramQueue accounts one line transfer at chip's memory controller and
+// returns the queueing delay beyond the raw access latency.
+func (m *Machine) dramQueue(chip int, at sim.Time) sim.Cycles {
+	return m.dram[chip].reserve(at)
+}
+
+// acquireOwnership makes core the sole holder after a write, invalidating
+// remote copies and marking the local line dirty. Returns the added cost.
+func (m *Machine) acquireOwnership(core int, l cache.Line, c *perfctr.Counters) sim.Cycles {
+	node := m.coreNode(core)
+	var extra sim.Cycles
+	invalidated := m.dir.InvalidateExcept(l, node)
+	if len(invalidated) > 0 {
+		extra = m.cfg.Lat.InvalidateCost
+		c.Invalidations += uint64(len(invalidated))
+		ncores := m.cfg.NumCores()
+		for _, n := range invalidated {
+			if int(n) < ncores {
+				m.l1[n].Remove(l)
+				m.l2[n].Remove(l)
+			} else {
+				m.l3[int(n)-ncores].Remove(l)
+			}
+		}
+	}
+	m.dir.SetOwner(l, node)
+	m.l1[core].MarkDirty(l)
+	m.l2[core].MarkDirty(l)
+	return extra
+}
+
+// installCore inserts a fetched line into core's L1 and L2, cascading
+// evictions: L2 victims fall into the chip's L3 (victim cache), L3 victims
+// are written back to DRAM (holder bit dropped). Inclusion (L1 ⊆ L2) is
+// maintained so the directory can treat each core's private hierarchy as a
+// single node.
+func (m *Machine) installCore(core int, l cache.Line, dirty bool) {
+	chip := m.cfg.ChipOf(core)
+	node := m.coreNode(core)
+	c := m.ctr.Core(core)
+
+	if victim, vDirty, evicted := m.l2[core].Insert(l, dirty); evicted {
+		c.Evictions++
+		// Maintain inclusion: the victim may still sit in L1.
+		m.l1[core].Remove(victim)
+		m.spillToL3(chip, node, victim, vDirty, c)
+	}
+	m.dir.AddSharer(l, node)
+	m.installL1(core, l)
+}
+
+// spillToL3 places an L2 victim into the chip's victim L3.
+func (m *Machine) spillToL3(chip int, from coherence.Node, victim cache.Line, dirty bool, c *perfctr.Counters) {
+	l3 := m.l3[chip]
+	l3node := m.l3Node(chip)
+	if w, _, evicted := l3.Insert(victim, dirty); evicted {
+		c.Evictions++
+		m.dir.RemoveSharer(w, l3node) // writeback to DRAM
+	}
+	m.dir.MoveSharer(victim, from, l3node)
+}
+
+// installL1 inserts into L1 only; L1 victims need no bookkeeping because
+// inclusion guarantees they remain in L2.
+func (m *Machine) installL1(core int, l cache.Line) {
+	m.l1[core].Insert(l, false)
+}
+
+// FlushAll empties every cache and the directory (cold-start between
+// benchmark phases). DRAM controller queues are also reset.
+func (m *Machine) FlushAll() {
+	for i := range m.l1 {
+		m.l1[i].Clear()
+		m.l2[i].Clear()
+	}
+	for i := range m.l3 {
+		m.l3[i].Clear()
+	}
+	n := m.cfg.NumCores() + m.cfg.Chips
+	m.dir = coherence.NewDirectory(n)
+	for i := range m.dram {
+		m.dram[i].reset()
+	}
+}
+
+// CheckInvariants verifies the structural properties the model relies on:
+//
+//  1. directory ↔ cache agreement: node n holds line l in the directory
+//     iff l is resident in n's cache(s);
+//  2. inclusion: every L1 line is also in the same core's L2;
+//  3. owner validity: a line's dirty owner is one of its holders.
+//
+// It is called from tests after simulations; it is not on the hot path.
+func (m *Machine) CheckInvariants() error {
+	ncores := m.cfg.NumCores()
+	for core := 0; core < ncores; core++ {
+		for _, l := range m.l1[core].Lines() {
+			if !m.l2[core].Contains(l) {
+				return fmt.Errorf("machine: core %d L1 line %d violates inclusion", core, l)
+			}
+		}
+		node := m.coreNode(core)
+		for _, l := range m.l2[core].Lines() {
+			if !m.dir.Holds(l, node) {
+				return fmt.Errorf("machine: core %d holds line %d but directory disagrees", core, l)
+			}
+		}
+	}
+	for chip := 0; chip < m.cfg.Chips; chip++ {
+		node := m.l3Node(chip)
+		for _, l := range m.l3[chip].Lines() {
+			if !m.dir.Holds(l, node) {
+				return fmt.Errorf("machine: chip %d L3 holds line %d but directory disagrees", chip, l)
+			}
+		}
+	}
+	return m.checkDirectoryBacked()
+}
+
+// checkDirectoryBacked walks all resident lines and confirms each directory
+// holder bit is backed by a real resident line.
+func (m *Machine) checkDirectoryBacked() error {
+	ncores := m.cfg.NumCores()
+	seen := map[cache.Line]bool{}
+	collect := func(ls []cache.Line) {
+		for _, l := range ls {
+			seen[l] = true
+		}
+	}
+	for i := 0; i < ncores; i++ {
+		collect(m.l2[i].Lines())
+	}
+	for i := 0; i < m.cfg.Chips; i++ {
+		collect(m.l3[i].Lines())
+	}
+	for l := range seen {
+		for _, n := range m.dir.Holders(l) {
+			var resident bool
+			if int(n) < ncores {
+				resident = m.l2[n].Contains(l)
+			} else {
+				resident = m.l3[int(n)-ncores].Contains(l)
+			}
+			if !resident {
+				return fmt.Errorf("machine: directory says node %d holds line %d but no cache does", n, l)
+			}
+		}
+		if o := m.dir.Owner(l); o != coherence.NoOwner && !m.dir.Holds(l, o) {
+			return fmt.Errorf("machine: line %d owner %d is not a holder", l, o)
+		}
+	}
+	return nil
+}
+
+// ResidencyReport describes where the bytes of one object currently live,
+// for the Fig. 2 cache-contents reproduction.
+type ResidencyReport struct {
+	Object    *mem.Object
+	L2Bytes   []int // per core
+	L3Bytes   []int // per chip
+	DRAMBytes int   // bytes resident nowhere on chip
+}
+
+// Residency computes a report for obj. Bytes resident in multiple caches
+// are counted in each (that duplication is exactly what Fig. 2 shows).
+func (m *Machine) Residency(obj *mem.Object) ResidencyReport {
+	r := ResidencyReport{
+		Object:  obj,
+		L2Bytes: make([]int, m.cfg.NumCores()),
+		L3Bytes: make([]int, m.cfg.Chips),
+	}
+	for i := range m.l2 {
+		r.L2Bytes[i] = m.l2[i].ResidentBytesIn(obj.Span)
+	}
+	for i := range m.l3 {
+		r.L3Bytes[i] = m.l3[i].ResidentBytesIn(obj.Span)
+	}
+	ls := m.lineSize
+	first := cache.LineOf(obj.Base, ls)
+	last := cache.LineOf(obj.End()-1, ls)
+	for l := first; l <= last; l++ {
+		if m.dir.HolderMask(l) == 0 {
+			r.DRAMBytes += ls
+		}
+	}
+	return r
+}

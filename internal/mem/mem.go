@@ -1,0 +1,193 @@
+// Package mem provides the simulated physical address space: a flat byte
+// image with a bump allocator and a registry of named object spans.
+//
+// The image holds real bytes — the FAT file system stores genuine directory
+// entries in it — but reading and writing the image carries no simulated
+// cost. Timing is charged separately by the machine model
+// (internal/machine), which consults the same addresses.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Span is a contiguous address range [Base, Base+Size).
+type Span struct {
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the span.
+func (s Span) End() Addr { return s.Base + Addr(s.Size) }
+
+// Contains reports whether a falls inside the span.
+func (s Span) Contains(a Addr) bool { return a >= s.Base && a < s.End() }
+
+// Overlaps reports whether two spans share any address.
+func (s Span) Overlaps(o Span) bool { return s.Base < o.End() && o.Base < s.End() }
+
+// Object is a named allocation, the unit the O2 scheduler places in caches.
+type Object struct {
+	Span
+	Name string
+}
+
+// Image is a simulated physical memory: backing bytes, a bump allocator,
+// and the object registry.
+type Image struct {
+	data    []byte
+	next    Addr
+	objects []*Object // sorted by Base
+}
+
+// NewImage creates an image of size bytes. Allocations start at address 64
+// so that address 0 can serve as a "nil" sentinel.
+func NewImage(size int) *Image {
+	if size <= 0 {
+		panic("mem: image size must be positive")
+	}
+	return &Image{data: make([]byte, size), next: 64}
+}
+
+// Size returns the image capacity in bytes.
+func (im *Image) Size() int { return len(im.data) }
+
+// Used returns the number of bytes handed out so far.
+func (im *Image) Used() uint64 { return uint64(im.next) }
+
+// Alloc reserves size bytes aligned to align (which must be a power of
+// two; 0 means 8). It returns an error when the image is exhausted.
+func (im *Image) Alloc(size uint64, align uint64) (Addr, error) {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("mem: alignment %d is not a power of two", align)
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("mem: zero-size allocation")
+	}
+	base := (uint64(im.next) + align - 1) &^ (align - 1)
+	if base+size > uint64(len(im.data)) {
+		return 0, fmt.Errorf("mem: out of memory: need %d bytes at %#x, image is %d bytes",
+			size, base, len(im.data))
+	}
+	im.next = Addr(base + size)
+	return Addr(base), nil
+}
+
+// AllocObject allocates a span and registers it as a named object. Objects
+// are aligned to cache lines (64 bytes) so that distinct objects never
+// share a line — false sharing would otherwise confound placement.
+func (im *Image) AllocObject(name string, size uint64) (*Object, error) {
+	base, err := im.Alloc(size, 64)
+	if err != nil {
+		return nil, err
+	}
+	return im.RegisterObject(name, Span{Base: base, Size: size})
+}
+
+// RegisterObject registers an existing span as a named object (used for
+// structures that live inside a larger allocation, like FAT directories
+// inside a volume). The span must not overlap a registered object.
+func (im *Image) RegisterObject(name string, span Span) (*Object, error) {
+	if span.Size == 0 {
+		return nil, fmt.Errorf("mem: zero-size object %q", name)
+	}
+	if span.End() > Addr(len(im.data)) {
+		return nil, fmt.Errorf("mem: object %q span [%#x,%#x) outside image", name, span.Base, span.End())
+	}
+	obj := &Object{Span: span, Name: name}
+	i := sort.Search(len(im.objects), func(i int) bool {
+		return im.objects[i].Base >= obj.Base
+	})
+	if i > 0 && im.objects[i-1].Overlaps(span) {
+		return nil, fmt.Errorf("mem: object %q overlaps %q", name, im.objects[i-1].Name)
+	}
+	if i < len(im.objects) && im.objects[i].Overlaps(span) {
+		return nil, fmt.Errorf("mem: object %q overlaps %q", name, im.objects[i].Name)
+	}
+	im.objects = append(im.objects, nil)
+	copy(im.objects[i+1:], im.objects[i:])
+	im.objects[i] = obj
+	return obj, nil
+}
+
+// ObjectAt returns the registered object containing a, or nil.
+func (im *Image) ObjectAt(a Addr) *Object {
+	i := sort.Search(len(im.objects), func(i int) bool {
+		return im.objects[i].Base > a
+	})
+	if i == 0 {
+		return nil
+	}
+	if obj := im.objects[i-1]; obj.Contains(a) {
+		return obj
+	}
+	return nil
+}
+
+// Objects returns all registered objects in address order. The caller must
+// not mutate the slice.
+func (im *Image) Objects() []*Object { return im.objects }
+
+// Bytes returns the backing slice for [a, a+n). It panics on out-of-range
+// access: a simulated program touching unmapped memory is a bug in the
+// simulation, not a recoverable condition.
+func (im *Image) Bytes(a Addr, n int) []byte {
+	if int(a)+n > len(im.data) || n < 0 {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) outside image of %d bytes", a, int(a)+n, len(im.data)))
+	}
+	return im.data[a : int(a)+n]
+}
+
+// ReadAt copies n bytes starting at a.
+func (im *Image) ReadAt(a Addr, n int) []byte {
+	out := make([]byte, n)
+	copy(out, im.Bytes(a, n))
+	return out
+}
+
+// WriteAt copies b into the image at a.
+func (im *Image) WriteAt(a Addr, b []byte) {
+	copy(im.Bytes(a, len(b)), b)
+}
+
+// Read16 reads a little-endian uint16 at a.
+func (im *Image) Read16(a Addr) uint16 {
+	b := im.Bytes(a, 2)
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+// Write16 writes a little-endian uint16 at a.
+func (im *Image) Write16(a Addr, v uint16) {
+	b := im.Bytes(a, 2)
+	b[0], b[1] = byte(v), byte(v>>8)
+}
+
+// Read32 reads a little-endian uint32 at a.
+func (im *Image) Read32(a Addr) uint32 {
+	b := im.Bytes(a, 4)
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Write32 writes a little-endian uint32 at a.
+func (im *Image) Write32(a Addr, v uint32) {
+	b := im.Bytes(a, 4)
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// Read64 reads a little-endian uint64 at a.
+func (im *Image) Read64(a Addr) uint64 {
+	return uint64(im.Read32(a)) | uint64(im.Read32(a+4))<<32
+}
+
+// Write64 writes a little-endian uint64 at a.
+func (im *Image) Write64(a Addr, v uint64) {
+	im.Write32(a, uint32(v))
+	im.Write32(a+4, uint32(v>>32))
+}

@@ -1,0 +1,77 @@
+package perfctr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewSet(4)
+	s.Core(2).L2Miss = 10
+	snap := s.Snapshot(2)
+	s.Core(2).L2Miss = 99
+	if snap.L2Miss != 10 {
+		t.Fatal("snapshot must not alias live counters")
+	}
+}
+
+func TestSubDelta(t *testing.T) {
+	s := NewSet(1)
+	before := s.Snapshot(0)
+	s.Core(0).L2Miss += 7
+	s.Core(0).DRAMLoads += 3
+	s.Core(0).BusyCycles += 1000
+	delta := s.Snapshot(0).Sub(before)
+	if delta.L2Miss != 7 || delta.DRAMLoads != 3 || delta.BusyCycles != 1000 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	if delta.Misses() != 7 {
+		t.Fatalf("Misses = %d, want 7", delta.Misses())
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := Counters{Loads: uint64(a), L2Miss: uint64(a) / 2, DRAMLoads: uint64(a) / 3,
+			IdleCycles: uint64(a) * 2, MigrationsIn: uint64(a) % 7}
+		y := Counters{Loads: uint64(b), L2Miss: uint64(b) / 2, DRAMLoads: uint64(b) / 3,
+			IdleCycles: uint64(b) * 2, MigrationsIn: uint64(b) % 7}
+		return x.Add(y).Sub(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	s := NewSet(3)
+	for i := 0; i < 3; i++ {
+		s.Core(i).Loads = uint64(i + 1)
+	}
+	if got := s.Total().Loads; got != 6 {
+		t.Fatalf("Total.Loads = %d, want 6", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSet(2)
+	s.Core(0).Stores = 5
+	s.Core(1).IdleCycles = 9
+	s.Reset()
+	if s.Total() != (Counters{}) {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestSnapshotAll(t *testing.T) {
+	s := NewSet(2)
+	s.Core(1).RemoteFetches = 4
+	all := s.SnapshotAll()
+	if len(all) != 2 || all[1].RemoteFetches != 4 {
+		t.Fatalf("SnapshotAll = %+v", all)
+	}
+	all[1].RemoteFetches = 100
+	if s.Snapshot(1).RemoteFetches != 4 {
+		t.Fatal("SnapshotAll must copy")
+	}
+}

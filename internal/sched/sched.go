@@ -1,0 +1,76 @@
+// Package sched defines the scheduling interface workloads program
+// against, plus the traditional thread scheduler the paper compares
+// CoreTime to.
+//
+// A workload brackets every operation on a shared object with
+// OpStart/OpEnd. Under the baseline ThreadScheduler those calls do nothing:
+// threads stay on their home cores and the hardware caches fill implicitly,
+// exactly the "without CoreTime" configuration in the paper's Figure 4.
+// Under CoreTime (internal/core) the same calls drive object placement and
+// thread migration.
+package sched
+
+import (
+	"repro/internal/exec"
+	"repro/internal/mem"
+)
+
+// Annotator receives operation boundaries. Implementations must be called
+// in matched pairs per thread; operations may nest.
+type Annotator interface {
+	// OpStart marks the beginning of an operation on the object
+	// identified by addr (the paper's ct_start). The thread may be
+	// running on a different core when OpStart returns.
+	OpStart(t *exec.Thread, addr mem.Addr)
+	// OpEnd marks the end of the innermost operation (the paper's
+	// ct_end).
+	OpEnd(t *exec.Thread)
+	// Name identifies the scheduler in reports.
+	Name() string
+}
+
+// ReadOnlyAnnotator is implemented by schedulers that can exploit the
+// knowledge that an operation never writes its object (the replication
+// extension, paper §6.2). Workloads use StartRO when available.
+type ReadOnlyAnnotator interface {
+	Annotator
+	// OpStartReadOnly is OpStart with a promise that the operation will
+	// not modify the object.
+	OpStartReadOnly(t *exec.Thread, addr mem.Addr)
+}
+
+// OpStartRO dispatches to OpStartReadOnly when the annotator supports it,
+// else to plain OpStart.
+func OpStartRO(a Annotator, t *exec.Thread, addr mem.Addr) {
+	if ro, ok := a.(ReadOnlyAnnotator); ok {
+		ro.OpStartReadOnly(t, addr)
+		return
+	}
+	a.OpStart(t, addr)
+}
+
+// ThreadScheduler is the traditional scheduler: each thread is pinned to
+// its home core and objects are never scheduled. It is the paper's
+// baseline ("Schedulers in today's operating systems have the primary goal
+// of keeping all cores busy", §1).
+type ThreadScheduler struct{}
+
+// OpStart is a no-op: data moves to threads implicitly via the caches.
+func (ThreadScheduler) OpStart(t *exec.Thread, addr mem.Addr) {}
+
+// OpEnd is a no-op.
+func (ThreadScheduler) OpEnd(t *exec.Thread) {}
+
+// Name implements Annotator.
+func (ThreadScheduler) Name() string { return "thread-scheduler" }
+
+// RoundRobin returns the home core for each of n threads spread across
+// cores round-robin, the placement a conventional scheduler would pick for
+// a CPU-bound pool.
+func RoundRobin(threads, cores int) []int {
+	homes := make([]int, threads)
+	for i := range homes {
+		homes[i] = i % cores
+	}
+	return homes
+}

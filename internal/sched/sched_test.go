@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRoundRobinCoversAllCores(t *testing.T) {
+	homes := RoundRobin(16, 16)
+	seen := map[int]bool{}
+	for _, h := range homes {
+		seen[h] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("16 threads on 16 cores used only %d cores", len(seen))
+	}
+}
+
+func TestRoundRobinWrapsAndBounds(t *testing.T) {
+	f := func(threads, cores uint8) bool {
+		nt, nc := int(threads%64)+1, int(cores%16)+1
+		homes := RoundRobin(nt, nc)
+		if len(homes) != nt {
+			return false
+		}
+		counts := make([]int, nc)
+		for i, h := range homes {
+			if h < 0 || h >= nc {
+				return false
+			}
+			if h != i%nc {
+				return false
+			}
+			counts[h]++
+		}
+		// Balance: max and min differ by at most one.
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadSchedulerIsInert(t *testing.T) {
+	// The baseline annotator must not move threads or cost cycles.
+	eng := sim.NewEngine()
+	m, err := machine.New(topology.Tiny8(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
+	var ts ThreadScheduler
+	var coreAt [3]int
+	sys.Go("w", 2, func(th *exec.Thread) {
+		coreAt[0] = th.Core()
+		ts.OpStart(th, mem.Addr(4096))
+		coreAt[1] = th.Core()
+		ts.OpEnd(th)
+		coreAt[2] = th.Core()
+	})
+	eng.Run(0)
+	if eng.Now() != 0 {
+		t.Fatalf("baseline annotations consumed %d cycles", eng.Now())
+	}
+	for i, c := range coreAt {
+		if c != 2 {
+			t.Fatalf("checkpoint %d: thread on core %d, want 2", i, c)
+		}
+	}
+	if got := m.Counters().Snapshot(2).MigrationsIn; got != 0 {
+		t.Fatalf("baseline migrated %d times", got)
+	}
+}
+
+func TestOpStartRODispatch(t *testing.T) {
+	// OpStartRO must use the read-only entry point when available and
+	// fall back to OpStart otherwise.
+	rec := &recordingAnnotator{}
+	OpStartRO(rec, nil, 42)
+	if !rec.sawRO || rec.sawPlain {
+		t.Fatal("ReadOnlyAnnotator path not taken")
+	}
+	plain := &plainAnnotator{}
+	OpStartRO(plain, nil, 42)
+	if !plain.saw {
+		t.Fatal("plain fallback not taken")
+	}
+}
+
+type recordingAnnotator struct{ sawRO, sawPlain bool }
+
+func (r *recordingAnnotator) OpStart(t *exec.Thread, a mem.Addr)         { r.sawPlain = true }
+func (r *recordingAnnotator) OpStartReadOnly(t *exec.Thread, a mem.Addr) { r.sawRO = true }
+func (r *recordingAnnotator) OpEnd(t *exec.Thread)                       {}
+func (r *recordingAnnotator) Name() string                               { return "recording" }
+
+type plainAnnotator struct{ saw bool }
+
+func (p *plainAnnotator) OpStart(t *exec.Thread, a mem.Addr) { p.saw = true }
+func (p *plainAnnotator) OpEnd(t *exec.Thread)               {}
+func (p *plainAnnotator) Name() string                       { return "plain" }

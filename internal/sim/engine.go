@@ -1,0 +1,170 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that underlies the simulated multicore machine.
+//
+// The engine is process-oriented: each simulated thread of control is a
+// *Proc backed by a goroutine, but exactly one goroutine runs at a time and
+// control transfers between the engine and procs are explicit. Events with
+// equal timestamps fire in the order they were scheduled. Together these
+// rules make runs bit-reproducible for a given seed, which the benchmark
+// harness relies on, and they mean simulated state (caches, directories,
+// run queues) needs no locking.
+//
+// Time is measured in CPU cycles of the simulated machine (2 GHz for the
+// paper's AMD configuration).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in cycles since the start of the run.
+type Time uint64
+
+// Cycles is a duration in simulated cycles.
+type Cycles = Time
+
+// event is an entry in the engine's pending-event heap. Exactly one of p or
+// fn is set: p resumes a parked process, fn runs a callback inline in engine
+// context (timers, monitors).
+type event struct {
+	at  Time
+	seq uint64 // tie-break: equal-time events fire in schedule order
+	p   *Proc
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns simulated time and the pending-event queue.
+//
+// All mutation of engine or simulation state must happen "in engine
+// context": inside a Proc body, inside an At callback, or before Run is
+// called. The engine is not safe for use from multiple OS threads.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   int // live (not yet finished) procs
+	running *Proc
+	stopped bool
+}
+
+// NewEngine returns an engine with time at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Live returns the number of spawned procs that have not finished.
+func (e *Engine) Live() int { return e.procs }
+
+// At schedules fn to run in engine context at time t. Scheduling in the
+// past (t < Now) panics: it would silently reorder history.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) scheduled before now=%d", t, e.now))
+	}
+	e.push(event{at: t, fn: fn})
+}
+
+// After schedules fn to run in engine context d cycles from now.
+func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
+
+// Every schedules fn to run every period cycles, starting one period from
+// now, until fn returns false or the run ends.
+func (e *Engine) Every(period Cycles, fn func() bool) {
+	if period == 0 {
+		panic("sim: Every with zero period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Run executes events until the queue is empty, Stop is called, or time
+// would pass limit (limit 0 means no limit). It returns the final simulated
+// time. Events at exactly t == limit still fire.
+func (e *Engine) Run(limit Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if limit != 0 && ev.at > limit {
+			// Leave the event pending so a later Run can continue.
+			heap.Push(&e.events, ev)
+			e.now = limit
+			break
+		}
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		e.dispatch(ev.p)
+	}
+	if limit != 0 && e.now < limit && len(e.events) == 0 {
+		e.now = limit
+	}
+	return e.now
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; a subsequent Run resumes where the previous one left off.
+func (e *Engine) Stop() { e.stopped = true }
+
+// dispatch hands control to p until it yields back.
+func (e *Engine) dispatch(p *Proc) {
+	if p.state == procDead {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-p.yield
+	e.running = prev
+	if p.state == procDead && !p.reaped {
+		p.reaped = true
+		e.procs--
+		for _, w := range p.waiters {
+			w.Unpark()
+		}
+		p.waiters = nil
+	}
+}
+
+// Running returns the proc currently executing, or nil when the engine is
+// running a timer callback or is between events.
+func (e *Engine) Running() *Proc { return e.running }

@@ -1,0 +1,171 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	procNew procState = iota
+	procRunning
+	procSleeping // wake event queued
+	procParked   // waiting for an explicit Unpark
+	procDead
+)
+
+func (s procState) String() string {
+	switch s {
+	case procNew:
+		return "new"
+	case procRunning:
+		return "running"
+	case procSleeping:
+		return "sleeping"
+	case procParked:
+		return "parked"
+	case procDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// Proc is a simulated thread of control. Its body runs on a dedicated
+// goroutine, but the engine guarantees only one proc (or the engine itself)
+// executes at a time, so proc bodies may touch shared simulation state
+// freely.
+//
+// Procs advance simulated time only through Sleep; pure computation inside
+// a proc body is instantaneous in simulated time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	state  procState
+	resume chan struct{}
+	yield  chan struct{}
+	reaped bool
+
+	// waiters are procs parked in Join, woken when this proc finishes.
+	waiters []*Proc
+}
+
+// Spawn creates a proc named name executing body and schedules it to start
+// at the current time. It must be called in engine context or before Run.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		state:  procNew,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		body(p)
+		p.state = procDead
+		p.yield <- struct{}{}
+	}()
+	p.state = procSleeping
+	e.push(event{at: e.now, p: p})
+	return p
+}
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the proc's name (used in diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the proc for d cycles of simulated time. Sleep(0) yields
+// to the engine and resumes after other events scheduled for the current
+// instant.
+func (p *Proc) Sleep(d Cycles) {
+	p.mustBeRunning("Sleep")
+	p.state = procSleeping
+	p.eng.push(event{at: p.eng.now + d, p: p})
+	p.switchToEngine()
+}
+
+// Park suspends the proc indefinitely; another proc or timer must call
+// Unpark to make it runnable again.
+func (p *Proc) Park() {
+	p.mustBeRunning("Park")
+	p.state = procParked
+	p.switchToEngine()
+}
+
+// Unpark makes a parked proc runnable at the current simulated time. It is
+// a no-op when the proc is not parked (already runnable, sleeping, or
+// dead), which lets wakers race benignly with timeouts.
+func (p *Proc) Unpark() {
+	if p.state != procParked {
+		return
+	}
+	p.state = procSleeping
+	p.eng.push(event{at: p.eng.now, p: p})
+}
+
+// Done reports whether the proc body has returned.
+func (p *Proc) Done() bool { return p.state == procDead }
+
+// Join parks the calling proc until target finishes. Joining a finished
+// proc returns immediately.
+func (p *Proc) Join(target *Proc) {
+	p.mustBeRunning("Join")
+	if target.state == procDead {
+		return
+	}
+	target.waiters = append(target.waiters, p)
+	p.Park()
+}
+
+func (p *Proc) switchToEngine() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+func (p *Proc) mustBeRunning(op string) {
+	if p.eng.running != p {
+		panic(fmt.Sprintf("sim: %s called on proc %q in state %v from outside its own body",
+			op, p.name, p.state))
+	}
+}
+
+// WaitGroup counts in-flight procs, for proc bodies that fork helpers and
+// must wait for all of them. It is the simulated-time analogue of
+// sync.WaitGroup; all methods must be called in engine context.
+type WaitGroup struct {
+	count  int
+	waiter *Proc
+}
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 && wg.waiter != nil {
+		w := wg.waiter
+		wg.waiter = nil
+		w.Unpark()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait parks p until the counter reaches zero. At most one proc may wait on
+// a WaitGroup at a time.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	if wg.waiter != nil {
+		panic("sim: concurrent WaitGroup.Wait")
+	}
+	wg.waiter = p
+	p.Park()
+}

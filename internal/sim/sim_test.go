@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimerOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run(0)
+	if end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(0)
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var at1, at2 Time
+	e.Spawn("sleeper", func(p *Proc) {
+		at1 = p.Now()
+		p.Sleep(100)
+		at2 = p.Now()
+	})
+	e.Run(0)
+	if at1 != 0 || at2 != 100 {
+		t.Fatalf("times = %d,%d, want 0,100", at1, at2)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		for _, n := range []string{"a", "b"} {
+			n := n
+			e.Spawn(n, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					trace = append(trace, n)
+					p.Sleep(10)
+				}
+			})
+		}
+		e.Run(0)
+		return trace
+	}
+	first := run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", first, want)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("runs differ: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := NewEngine()
+	var waiter *Proc
+	var wokeAt Time
+	waiter = e.Spawn("waiter", func(p *Proc) {
+		p.Park()
+		wokeAt = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(500)
+		waiter.Unpark()
+	})
+	e.Run(0)
+	if wokeAt != 500 {
+		t.Fatalf("woke at %d, want 500", wokeAt)
+	}
+}
+
+func TestUnparkNonParkedIsNoop(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn("p", func(p *Proc) { p.Sleep(10) })
+	e.At(5, func() { p.Unpark() }) // p is sleeping, not parked
+	end := e.Run(0)
+	if end != 10 {
+		t.Fatalf("end = %d, want 10 (Unpark must not shorten Sleep)", end)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := NewEngine()
+	var joinedAt Time
+	worker := e.Spawn("worker", func(p *Proc) { p.Sleep(1000) })
+	e.Spawn("parent", func(p *Proc) {
+		p.Join(worker)
+		joinedAt = p.Now()
+	})
+	e.Run(0)
+	if joinedAt != 1000 {
+		t.Fatalf("joined at %d, want 1000", joinedAt)
+	}
+}
+
+func TestJoinFinishedProcReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	worker := e.Spawn("worker", func(p *Proc) {})
+	var joinedAt Time = 42
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(100) // let worker finish first
+		p.Join(worker)
+		joinedAt = p.Now()
+	})
+	e.Run(0)
+	if joinedAt != 100 {
+		t.Fatalf("joined at %d, want 100", joinedAt)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() { fired = true })
+	end := e.Run(50)
+	if end != 50 || fired {
+		t.Fatalf("end=%d fired=%v, want 50,false", end, fired)
+	}
+	// Resume past the limit.
+	end = e.Run(0)
+	if end != 100 || !fired {
+		t.Fatalf("after resume end=%d fired=%v, want 100,true", end, fired)
+	}
+}
+
+func TestRunLimitExactBoundaryFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(50, func() { fired = true })
+	e.Run(50)
+	if !fired {
+		t.Fatal("event at exactly the limit should fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(10, func() bool {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+		return true
+	})
+	e.Run(0)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("stopped at %d, want 30", e.Now())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.Every(25, func() bool {
+		ticks = append(ticks, e.Now())
+		return len(ticks) < 4
+	})
+	e.Run(0)
+	want := []Time{25, 50, 75, 100}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) { p.Sleep(10) })
+	e.Spawn("b", func(p *Proc) { p.Sleep(20) })
+	if e.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", e.Live())
+	}
+	e.Run(0)
+	if e.Live() != 0 {
+		t.Fatalf("Live after run = %d, want 0", e.Live())
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	var doneAt Time
+	for i := 1; i <= 3; i++ {
+		d := Cycles(i * 100)
+		wg.Add(1)
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Spawn("main", func(p *Proc) {
+		p.Sleep(1) // let workers register
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run(0)
+	if doneAt != 300 {
+		t.Fatalf("WaitGroup released at %d, want 300", doneAt)
+	}
+}
+
+func TestWaitGroupZeroCountReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	ran := false
+	e.Spawn("main", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	e.Run(0)
+	if !ran {
+		t.Fatal("Wait on zero-count group should not block")
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var childRanAt Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		e.Spawn("child", func(c *Proc) {
+			childRanAt = c.Now()
+		})
+		p.Sleep(10)
+	})
+	e.Run(0)
+	if childRanAt != 10 {
+		t.Fatalf("child ran at %d, want 10", childRanAt)
+	}
+}
+
+func TestManyProcsScale(t *testing.T) {
+	e := NewEngine()
+	const n = 500
+	total := 0
+	for i := 0; i < n; i++ {
+		e.Spawn("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(7)
+			}
+			total++
+		})
+	}
+	e.Run(0)
+	if total != n {
+		t.Fatalf("finished %d procs, want %d", total, n)
+	}
+	if e.Now() != 70 {
+		t.Fatalf("end time %d, want 70", e.Now())
+	}
+}

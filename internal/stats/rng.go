@@ -1,0 +1,109 @@
+// Package stats provides the deterministic random-number generator and
+// small statistical helpers used throughout the simulator.
+//
+// Simulation runs must be bit-reproducible given a seed, so the simulator
+// does not use math/rand's global source. Instead every component that
+// needs randomness owns an explicit *stats.RNG seeded by its caller.
+package stats
+
+// RNG is a deterministic pseudo-random number generator based on the
+// xorshift64* algorithm (Vigna, 2014). It is small, fast, passes BigCrush
+// for the uses we put it to (workload choice sequences), and — unlike
+// math/rand.Source implementations — its state is a single word that is
+// trivial to snapshot in tests.
+//
+// The zero RNG is not valid; construct one with NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state. A zero seed is remapped to a fixed
+// non-zero constant.
+func (r *RNG) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 // golden-ratio constant
+	}
+	r.state = seed
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics when
+// n <= 0, matching math/rand.Intn.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method avoids modulo bias without
+	// a division in the common case.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high bits give a uniform dyadic rational in [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher–Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated by hashing the parent's next output with a distinct odd
+// multiplier, so components can be given private RNGs without sharing a
+// sequence.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64()*0xDA942042E4DD58B5 + 1)
+}
+
+// mul64 computes the 128-bit product of a and b, returning the high and low
+// 64-bit halves. (math/bits.Mul64 exists, but spelling it out keeps this
+// package dependency-free and documents the rejection-sampling math.)
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations and reports running
+// moments using Welford's numerically stable online algorithm.
+//
+// The zero Summary is ready to use.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 when no observations were added.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance (n-1 denominator), or 0 for fewer
+// than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// String formats the summary for human-readable reports.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f stddev=%.2f min=%.2f max=%.2f",
+		s.n, s.Mean(), s.Stddev(), s.min, s.max)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It copies and sorts its input, so the
+// caller's slice is left untouched. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-bucket histogram over [0, +inf) with exponentially
+// growing bucket boundaries, used for latency distributions in reports.
+type Histogram struct {
+	// Bounds[i] is the inclusive upper bound of bucket i; the final bucket
+	// is unbounded.
+	Bounds []float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with buckets (0, first], doubling up to
+// nbuckets-1 bounded buckets plus one overflow bucket.
+func NewHistogram(first float64, nbuckets int) *Histogram {
+	if nbuckets < 2 {
+		nbuckets = 2
+	}
+	h := &Histogram{
+		Bounds: make([]float64, nbuckets-1),
+		Counts: make([]int64, nbuckets),
+	}
+	b := first
+	for i := range h.Bounds {
+		h.Bounds[i] = b
+		b *= 2
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	for i, b := range h.Bounds {
+		if x <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1) by
+// scanning bucket counts. The overflow bucket reports +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}

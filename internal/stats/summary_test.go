@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of the classic dataset is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Stddev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	// Property: Welford's online mean agrees with the two-pass mean.
+	f := func(xs []float64) bool {
+		var s Summary
+		var sum float64
+		ok := true
+		for _, x := range xs {
+			// Clamp to a sane range so the naive sum doesn't overflow.
+			x = math.Mod(x, 1e6)
+			if math.IsNaN(x) {
+				x = 0
+			}
+			s.Add(x)
+			sum += x
+		}
+		if len(xs) > 0 {
+			naive := sum / float64(len(xs))
+			ok = math.Abs(s.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// The input must not be reordered.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileSortedInvariant(t *testing.T) {
+	// Property: percentile is monotone in p and bounded by min/max.
+	r := NewRNG(123)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = r.Float64() * 1000
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5) // bounds 10, 20, 40, 80, +inf
+	for _, x := range []float64{1, 5, 10, 11, 25, 100, 1000} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	wantCounts := []int64{3, 1, 1, 0, 2}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if q := h.Quantile(0.5); q != 20 {
+		t.Errorf("median bound = %v, want 20", q)
+	}
+	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Errorf("q100 = %v, want +Inf", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}

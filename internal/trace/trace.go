@@ -1,0 +1,186 @@
+// Package trace is a lightweight event tracer for the simulated system:
+// a fixed-capacity ring buffer of typed, timestamped scheduling events
+// (placements, migrations, operations, monitor actions).
+//
+// Tracing exists for the same reason real schedulers ship with tracepoints:
+// aggregate counters say *what* happened, traces say *in which order and
+// why*. The CoreTime runtime emits events when a Tracer is attached
+// (core.Options.Tracer); the ring costs nothing when absent and O(1) per
+// event when present, so it can stay enabled through full benchmark runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds emitted by the runtime and substrate.
+const (
+	// EvPlace: an object was assigned to a core (Arg1=core).
+	EvPlace Kind = iota
+	// EvUnplace: an object's placement was withdrawn (Arg1=former core,
+	// Arg2 non-zero when withdrawn for DRAM-ineffectiveness).
+	EvUnplace
+	// EvMove: the monitor moved an object between cores (Arg1=from,
+	// Arg2=to).
+	EvMove
+	// EvMigrate: a thread migrated for an operation (Arg1=from core,
+	// Arg2=to core).
+	EvMigrate
+	// EvDisperse: a thread was dispersed off a congested core
+	// (Arg1=from, Arg2=to).
+	EvDisperse
+	// EvReplicate: an object was replicated (Arg1=replica count).
+	EvReplicate
+	// EvCollapse: a replica set collapsed before a write (Arg1=former
+	// replica count).
+	EvCollapse
+	// EvRebalance: one monitor pass completed (Arg1=objects moved).
+	EvRebalance
+)
+
+var kindNames = [...]string{
+	EvPlace:     "place",
+	EvUnplace:   "unplace",
+	EvMove:      "move",
+	EvMigrate:   "migrate",
+	EvDisperse:  "disperse",
+	EvReplicate: "replicate",
+	EvCollapse:  "collapse",
+	EvRebalance: "rebalance",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record. Subject identifies the object or thread the
+// event concerns (an object base address or a thread id, per Kind).
+type Event struct {
+	At      sim.Time
+	Kind    Kind
+	Subject uint64
+	Name    string // human-readable subject (object name, thread name)
+	Arg1    int64
+	Arg2    int64
+}
+
+// String renders an event for dumps.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvPlace:
+		return fmt.Sprintf("%12d %-9s %s -> core %d", e.At, e.Kind, e.Name, e.Arg1)
+	case EvUnplace:
+		why := "decay"
+		if e.Arg2 != 0 {
+			why = "dram-ineffective"
+		}
+		return fmt.Sprintf("%12d %-9s %s from core %d (%s)", e.At, e.Kind, e.Name, e.Arg1, why)
+	case EvMove, EvMigrate, EvDisperse:
+		return fmt.Sprintf("%12d %-9s %s core %d -> %d", e.At, e.Kind, e.Name, e.Arg1, e.Arg2)
+	case EvReplicate, EvCollapse:
+		return fmt.Sprintf("%12d %-9s %s (%d replicas)", e.At, e.Kind, e.Name, e.Arg1)
+	case EvRebalance:
+		return fmt.Sprintf("%12d %-9s moved %d objects", e.At, e.Kind, e.Arg1)
+	}
+	return fmt.Sprintf("%12d %-9s %s %d %d", e.At, e.Kind, e.Name, e.Arg1, e.Arg2)
+}
+
+// Tracer is a fixed-capacity ring of events. The zero Tracer is invalid;
+// use New.
+type Tracer struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// New creates a tracer keeping the most recent capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Emit records one event. Nil tracers are safe to Emit on, so callers
+// never need a guard.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		return
+	}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == cap(t.ring) {
+		t.next = 0
+	}
+	t.wrapped = true
+}
+
+// Total returns how many events were emitted over the tracer's lifetime
+// (including any that have been overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Filter returns retained events of the given kind, in order.
+func (t *Tracer) Filter(k Kind) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Count returns how many retained events have the given kind.
+func (t *Tracer) Count(k Kind) int {
+	n := 0
+	for _, ev := range t.Events() {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes the retained events to w, one per line.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, ev := range t.Events() {
+		fmt.Fprintln(w, ev.String())
+	}
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{At: sim.Time(i * 10), Kind: EvPlace, Name: "obj", Arg1: int64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Arg1 != int64(i) {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestRingWrapKeepsMostRecent(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{At: sim.Time(i), Kind: EvMigrate, Arg1: int64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Arg1 != int64(6+i) {
+			t.Fatalf("wrap lost order: %v", evs)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+}
+
+func TestRingWrapProperty(t *testing.T) {
+	// Property: after N emissions into a ring of capacity C, Events()
+	// returns min(N,C) events and they are the most recent, in order.
+	f := func(n uint8, c uint8) bool {
+		capacity := int(c%32) + 1
+		count := int(n % 200)
+		tr := New(capacity)
+		for i := 0; i < count; i++ {
+			tr.Emit(Event{Arg1: int64(i)})
+		}
+		evs := tr.Events()
+		want := count
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, ev := range evs {
+			if ev.Arg1 != int64(count-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvPlace}) // must not panic
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer should report nothing")
+	}
+}
+
+func TestFilterAndCount(t *testing.T) {
+	tr := New(16)
+	tr.Emit(Event{Kind: EvPlace})
+	tr.Emit(Event{Kind: EvMigrate})
+	tr.Emit(Event{Kind: EvPlace})
+	if got := tr.Count(EvPlace); got != 2 {
+		t.Fatalf("Count(EvPlace) = %d", got)
+	}
+	if got := len(tr.Filter(EvMigrate)); got != 1 {
+		t.Fatalf("Filter(EvMigrate) = %d entries", got)
+	}
+	if got := tr.Count(EvCollapse); got != 0 {
+		t.Fatalf("Count(EvCollapse) = %d", got)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{At: 5, Kind: EvPlace, Name: "dir1", Arg1: 3}, "dir1 -> core 3"},
+		{Event{At: 5, Kind: EvUnplace, Name: "dir1", Arg1: 3}, "(decay)"},
+		{Event{At: 5, Kind: EvUnplace, Name: "dir1", Arg1: 3, Arg2: 1}, "(dram-ineffective)"},
+		{Event{At: 5, Kind: EvMigrate, Name: "t0", Arg1: 1, Arg2: 2}, "core 1 -> 2"},
+		{Event{At: 5, Kind: EvReplicate, Name: "hot", Arg1: 4}, "(4 replicas)"},
+		{Event{At: 5, Kind: EvRebalance, Arg1: 7}, "moved 7 objects"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String(%v) = %q, want substring %q", c.ev.Kind, got, c.want)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := New(4)
+	tr.Emit(Event{Kind: EvPlace, Name: "a", Arg1: 1})
+	tr.Emit(Event{Kind: EvMove, Name: "a", Arg1: 1, Arg2: 2})
+	var sb strings.Builder
+	tr.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "place") || !strings.Contains(out, "move") {
+		t.Fatalf("dump missing events:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Fatalf("dump has %d lines, want 2", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EvPlace.String() != "place" || EvDisperse.String() != "disperse" {
+		t.Fatal("kind names wrong")
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind formatted as %q", got)
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 5000; i++ {
+		tr.Emit(Event{Arg1: int64(i)})
+	}
+	if len(tr.Events()) != 4096 {
+		t.Fatalf("default capacity = %d, want 4096", len(tr.Events()))
+	}
+}

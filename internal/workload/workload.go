@@ -1,0 +1,351 @@
+// Package workload builds and drives the paper's evaluation workloads.
+//
+// The central one is the directory-lookup workload of Figures 1/3: each
+// thread repeatedly picks a random directory and resolves a random file
+// name in it by linear scan. Directories are the objects, lookups the
+// operations. Popularity is either uniform (Fig. 4a) or oscillating
+// between the full directory set and a sixteenth of it (Fig. 4b).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/fatfs"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// DirSpec sizes the directory tree.
+type DirSpec struct {
+	// Dirs is the number of directories; EntriesPerDir the file entries
+	// in each (the paper uses 1,000 entries of 32 bytes).
+	Dirs          int
+	EntriesPerDir int
+}
+
+// TotalBytes returns the directory data footprint, the x-axis of Fig. 4.
+func (d DirSpec) TotalBytes() int { return d.Dirs * d.EntriesPerDir * fatfs.DirEntrySize }
+
+// DirHandle bundles everything the drivers need per directory.
+type DirHandle struct {
+	Dir   fatfs.Dir
+	Obj   *mem.Object
+	Lock  *exec.SpinLock
+	Names []string
+}
+
+// Env is a built benchmark environment: machine, substrate, file system,
+// and the directory tree.
+type Env struct {
+	Eng  *sim.Engine
+	Mach *machine.Machine
+	Sys  *exec.System
+	FS   *fatfs.FS
+	Dirs []*DirHandle
+	Spec DirSpec
+}
+
+// BuildEnv constructs a fresh environment: a machine from cfg, a FAT
+// volume sized to hold the directory tree, spec.Dirs directories of
+// spec.EntriesPerDir files each, a per-directory spin lock (the paper
+// added per-directory spin locks to EFSL), and one registered memory
+// object per directory.
+func BuildEnv(cfg topology.Config, execOpts exec.Options, spec DirSpec) (*Env, error) {
+	if spec.Dirs <= 0 || spec.EntriesPerDir <= 0 {
+		return nil, fmt.Errorf("workload: need positive dirs and entries, got %+v", spec)
+	}
+	// Volume: directory data + FAT/root metadata + slack; image adds
+	// room for locks and thread contexts.
+	need := spec.TotalBytes()
+	volBytes := need*2 + (8 << 20)
+	imgBytes := volBytes + (4 << 20)
+
+	eng := sim.NewEngine()
+	m, err := machine.New(cfg, imgBytes)
+	if err != nil {
+		return nil, err
+	}
+	sys := exec.NewSystem(eng, m, execOpts)
+
+	fcfg := fatfs.Config{TotalBytes: volBytes, SectorsPerCluster: 8, RootEntries: rootEntriesFor(spec.Dirs)}
+	fs, err := fatfs.Format(m.Image(), fcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	env := &Env{Eng: eng, Mach: m, Sys: sys, FS: fs, Spec: spec}
+	null := fatfs.NullAccess{}
+	for i := 0; i < spec.Dirs; i++ {
+		dirName := fmt.Sprintf("DIR%05d", i)
+		d, err := fs.Mkdir(null, fs.Root(), dirName, spec.EntriesPerDir)
+		if err != nil {
+			return nil, fmt.Errorf("workload: mkdir %s: %w", dirName, err)
+		}
+		names := make([]string, spec.EntriesPerDir)
+		for j := range names {
+			names[j] = fmt.Sprintf("F%07d", j)
+		}
+		if err := fs.Populate(d, spec.EntriesPerDir, func(j int) string { return names[j] }); err != nil {
+			return nil, fmt.Errorf("workload: populate %s: %w", dirName, err)
+		}
+		span, err := fs.Extent(d)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := registerSpan(m.Image(), dirName, span)
+		if err != nil {
+			return nil, err
+		}
+		env.Dirs = append(env.Dirs, &DirHandle{
+			Dir:   d,
+			Obj:   obj,
+			Lock:  sys.NewSpinLock(dirName),
+			Names: names,
+		})
+	}
+	return env, nil
+}
+
+// rootEntriesFor sizes the root directory to hold n subdirectories,
+// rounded up to whole sectors.
+func rootEntriesFor(n int) int {
+	entries := n + 16
+	perSector := fatfs.SectorSize / fatfs.DirEntrySize
+	if r := entries % perSector; r != 0 {
+		entries += perSector - r
+	}
+	return entries
+}
+
+// registerSpan registers an existing span as a named object. The image's
+// object registry normally allocates; here the bytes already exist inside
+// the FAT volume, so we register the span directly.
+func registerSpan(img *mem.Image, name string, span mem.Span) (*mem.Object, error) {
+	return img.RegisterObject(name, span)
+}
+
+// Popularity selects which directories a lookup may target.
+type Popularity int
+
+const (
+	// Uniform picks uniformly over all directories (Fig. 4a).
+	Uniform Popularity = iota
+	// Oscillating alternates between the full set and a sixteenth of it
+	// every OscillatePeriod (Fig. 4b: "the number of directories
+	// accessed oscillates from the value represented on the x-axis to a
+	// sixteenth of that value").
+	Oscillating
+	// Hotspot sends HotFraction of lookups to the first HotDirs
+	// directories and the rest uniformly over the remainder; used by the
+	// cache-replacement ablation (§6.2, working sets larger than on-chip
+	// memory).
+	Hotspot
+	// UniformThenHotspot behaves as Uniform until PhaseShiftAt, then as
+	// Hotspot — an adversarial schedule for placement policies that
+	// cannot revise early decisions.
+	UniformThenHotspot
+)
+
+// RunParams drive one measurement.
+type RunParams struct {
+	Threads int
+	// Warmup runs before counters reset; Measure is the measured window.
+	Warmup  sim.Cycles
+	Measure sim.Cycles
+
+	Popularity      Popularity
+	OscillatePeriod sim.Cycles
+	// OscillateDivisor is the shrink factor of the small phase (16 in
+	// the paper).
+	OscillateDivisor int
+
+	// HotDirs and HotFraction configure Hotspot popularity.
+	HotDirs     int
+	HotFraction float64
+
+	// PhaseShiftAt is when UniformThenHotspot switches distribution.
+	PhaseShiftAt sim.Cycles
+
+	// PerOpCompute is the fixed per-lookup computation (random number
+	// generation, call overhead) in cycles.
+	PerOpCompute float64
+
+	// ReadOnly marks lookups as read-only operations, enabling the
+	// replication extension to act on hot directories.
+	ReadOnly bool
+
+	Seed uint64
+}
+
+// DefaultRunParams returns the parameters used by the figure harnesses.
+// The warmup must cover both CoreTime's placement phase and the flushing
+// of pre-placement cache copies: measurements at AMD16 scale converge by
+// ~12M cycles (6 ms of simulated time).
+func DefaultRunParams() RunParams {
+	return RunParams{
+		Threads:          16,
+		Warmup:           12_000_000,
+		Measure:          6_000_000,
+		Popularity:       Uniform,
+		OscillatePeriod:  2_000_000,
+		OscillateDivisor: 16,
+		PerOpCompute:     60,
+		Seed:             1,
+	}
+}
+
+// Result is one measured point.
+type Result struct {
+	Resolutions uint64   // lookups completed inside the measured window
+	PerThread   []uint64 // per-thread resolution counts
+	Elapsed     sim.Cycles
+	Scheduler   string
+
+	// KResPerSec is the paper's y-axis: thousands of resolutions per
+	// second of simulated time.
+	KResPerSec float64
+
+	// Migrations counts thread migrations during the measured window
+	// (CoreTime only; 0 for the baseline).
+	Migrations uint64
+}
+
+// RunDirLookup measures the directory-lookup workload under the given
+// annotator (sched.ThreadScheduler for the baseline, *core.Runtime for
+// CoreTime). The environment's caches and counters are flushed first, so
+// an Env can be reused across runs.
+func RunDirLookup(env *Env, ann sched.Annotator, p RunParams) Result {
+	if p.Threads <= 0 {
+		panic("workload: RunDirLookup needs at least one thread")
+	}
+	env.Mach.FlushAll()
+	env.Mach.Counters().Reset()
+
+	ncores := env.Mach.Config().NumCores()
+	homes := sched.RoundRobin(p.Threads, ncores)
+	measureStart := env.Eng.Now() + p.Warmup
+	deadline := measureStart + p.Measure
+
+	counts := make([]uint64, p.Threads)
+	var migBase uint64
+	rngs := make([]*stats.RNG, p.Threads)
+	master := stats.NewRNG(p.Seed)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+
+	divisor := p.OscillateDivisor
+	if divisor <= 0 {
+		divisor = 16
+	}
+
+	for i := 0; i < p.Threads; i++ {
+		i := i
+		env.Sys.Go(fmt.Sprintf("thread %d", i), homes[i], func(t *exec.Thread) {
+			rng := rngs[i]
+			for t.Now() < deadline {
+				d := env.Dirs[pickDir(rng, env, p, divisor, t.Now())]
+				name := d.Names[rng.Intn(len(d.Names))]
+
+				t.Compute(sim.Cycles(p.PerOpCompute))
+				if p.ReadOnly {
+					sched.OpStartRO(ann, t, d.Obj.Base)
+				} else {
+					ann.OpStart(t, d.Obj.Base)
+				}
+				t.Lock(d.Lock)
+				b := t.NewBatch()
+				if _, err := env.FS.Lookup(b, d.Dir, name); err != nil {
+					panic(fmt.Sprintf("workload: lookup %s: %v", name, err))
+				}
+				b.Commit()
+				t.Unlock(d.Lock)
+				ann.OpEnd(t)
+
+				if t.Now() >= measureStart && t.Now() <= deadline {
+					counts[i]++
+				}
+				t.Yield()
+			}
+		})
+	}
+
+	// Reset machine counters at the start of the measured window so the
+	// monitor and reports see steady-state numbers.
+	env.Eng.At(measureStart, func() {
+		env.Sys.FlushIdleAccounting()
+		var migs uint64
+		for c := 0; c < ncores; c++ {
+			migs += env.Mach.Counters().Snapshot(c).MigrationsIn
+		}
+		migBase = migs
+	})
+
+	env.Eng.Run(0)
+
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	var migs uint64
+	for c := 0; c < ncores; c++ {
+		migs += env.Mach.Counters().Snapshot(c).MigrationsIn
+	}
+	clock := env.Mach.Config().ClockHz
+	seconds := float64(p.Measure) / clock
+	return Result{
+		Resolutions: total,
+		PerThread:   counts,
+		Elapsed:     p.Measure,
+		Scheduler:   ann.Name(),
+		KResPerSec:  float64(total) / seconds / 1000,
+		Migrations:  migs - migBase,
+	}
+}
+
+// pickDir implements the popularity distributions.
+func pickDir(rng *stats.RNG, env *Env, p RunParams, divisor int, now sim.Time) int {
+	n := len(env.Dirs)
+	switch p.Popularity {
+	case Oscillating:
+		if p.OscillatePeriod > 0 {
+			phase := (uint64(now) / uint64(p.OscillatePeriod)) % 2
+			if phase == 1 {
+				small := n / divisor
+				if small < 1 {
+					small = 1
+				}
+				return rng.Intn(small)
+			}
+		}
+	case Hotspot:
+		return pickHot(rng, n, p)
+	case UniformThenHotspot:
+		if now >= p.PhaseShiftAt {
+			return pickHot(rng, n, p)
+		}
+	}
+	return rng.Intn(n)
+}
+
+func pickHot(rng *stats.RNG, n int, p RunParams) int {
+	hot := p.HotDirs
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > n {
+		hot = n
+	}
+	if rng.Float64() < p.HotFraction {
+		return rng.Intn(hot)
+	}
+	if n > hot {
+		return hot + rng.Intn(n-hot)
+	}
+	return rng.Intn(n)
+}
