@@ -1,8 +1,8 @@
 // Benchmarks that regenerate the paper's tables and figures through the
-// testing.B interface. Each benchmark mirrors one experiment from
-// DESIGN.md §4; `go test -bench=. -benchmem` prints the measured series as
-// custom metrics (kres/s — thousands of name resolutions per second of
-// simulated time — and speedup ratios).
+// testing.B interface, driving the public repro/o2 façade. Each benchmark
+// mirrors one experiment from DESIGN.md; `go test -bench=. -benchmem`
+// prints the measured series as custom metrics (kres/s — thousands of name
+// resolutions per second of simulated time — and speedup ratios).
 //
 // These use reduced sweeps so the whole suite completes in minutes; the
 // full-resolution tables come from `go run ./cmd/o2bench all`.
@@ -11,19 +11,14 @@ package repro_test
 import (
 	"testing"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/sched"
-	"repro/internal/topology"
-	"repro/internal/workload"
+	"repro/o2"
 )
 
 // benchFig4Config is a three-point sweep through the regions that define
 // Figure 4's shape: lock-bound left edge, CoreTime's sweet spot, and the
 // over-capacity right edge.
-func benchFig4Config() bench.Fig4Config {
-	cfg := bench.QuickFig4Config()
+func benchFig4Config() o2.Fig4Config {
+	cfg := o2.QuickFig4Config()
 	cfg.DirCounts = []int{8, 224, 640}
 	return cfg
 }
@@ -32,7 +27,7 @@ func benchFig4Config() bench.Fig4Config {
 // under uniform directory popularity, with and without CoreTime.
 func BenchmarkFig4aUniform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig4a(benchFig4Config())
+		rows, err := o2.Fig4a(benchFig4Config())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +46,7 @@ func BenchmarkFig4bOscillate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchFig4Config()
 		cfg.DirCounts = []int{224}
-		rows, err := bench.Fig4b(cfg)
+		rows, err := o2.Fig4b(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,21 +60,21 @@ func BenchmarkFig4bOscillate(b *testing.B) {
 // thread scheduling versus O2 scheduling.
 func BenchmarkFig2CacheContents(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		base, o2, err := bench.Fig2(bench.DefaultFig2Config())
+		base, ct, err := o2.Fig2(o2.DefaultFig2Config())
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(base.Duplication, "dup_thread_sched")
-		b.ReportMetric(o2.Duplication, "dup_o2_sched")
+		b.ReportMetric(ct.Duplication, "dup_o2_sched")
 		b.ReportMetric(float64(base.DistinctOnChip), "onchip_thread_sched")
-		b.ReportMetric(float64(o2.DistinctOnChip), "onchip_o2_sched")
+		b.ReportMetric(float64(ct.DistinctOnChip), "onchip_o2_sched")
 	}
 }
 
 // BenchmarkLatencyTable regenerates the §5 memory latency table.
 func BenchmarkLatencyTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.LatencyTable()
+		rows, err := o2.LatencyTable()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +90,7 @@ func BenchmarkLatencyTable(b *testing.B) {
 // (paper: 2000 cycles).
 func BenchmarkMigrationCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.MigrationCost(128)
+		r, err := o2.MigrationCost(128)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +102,7 @@ func BenchmarkMigrationCost(b *testing.B) {
 // extension.
 func BenchmarkAblationClustering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.AblationClustering()
+		rows, err := o2.AblationClustering()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +115,7 @@ func BenchmarkAblationClustering(b *testing.B) {
 // extension.
 func BenchmarkAblationReplication(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.AblationReplication()
+		rows, err := o2.AblationReplication()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +128,7 @@ func BenchmarkAblationReplication(b *testing.B) {
 // policy.
 func BenchmarkAblationReplacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.AblationReplacement()
+		rows, err := o2.AblationReplacement()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +141,7 @@ func BenchmarkAblationReplacement(b *testing.B) {
 // messages).
 func BenchmarkAblationMigrationCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.AblationMigrationCost()
+		rows, err := o2.AblationMigrationCost()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +154,7 @@ func BenchmarkAblationMigrationCost(b *testing.B) {
 // the cores at half speed (§6.1).
 func BenchmarkAblationHeterogeneous(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.AblationHeterogeneous()
+		rows, err := o2.AblationHeterogeneous()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,32 +167,31 @@ func BenchmarkAblationHeterogeneous(b *testing.B) {
 // single-point microbenchmarks of the workload engine itself, useful for
 // profiling the simulator.
 func BenchmarkDirLookupBaseline(b *testing.B) {
-	benchDirLookup(b, false)
+	benchDirLookup(b, o2.Baseline)
 }
 
 // BenchmarkDirLookupCoreTime is the CoreTime counterpart of
 // BenchmarkDirLookupBaseline.
 func BenchmarkDirLookupCoreTime(b *testing.B) {
-	benchDirLookup(b, true)
+	benchDirLookup(b, o2.CoreTime)
 }
 
-func benchDirLookup(b *testing.B, coretime bool) {
-	spec := workload.DirSpec{Dirs: 8, EntriesPerDir: 512}
-	p := workload.DefaultRunParams()
+func benchDirLookup(b *testing.B, scheduler o2.Scheduler) {
+	exp := o2.Experiment{
+		Machine: o2.Tiny8,
+		Tree:    o2.DirSpec{Dirs: 8, EntriesPerDir: 512},
+	}
+	p := o2.DefaultRunParams()
 	p.Threads = 8
 	p.Warmup = 800_000
 	p.Measure = 1_600_000
+	exp.Params = p
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+		res, err := exp.Run(o2.WithScheduler(scheduler))
 		if err != nil {
 			b.Fatal(err)
 		}
-		var ann sched.Annotator = sched.ThreadScheduler{}
-		if coretime {
-			ann = core.New(env.Sys, core.DefaultOptions())
-		}
-		res := workload.RunDirLookup(env, ann, p)
 		b.ReportMetric(res.KResPerSec, "kres/s")
 	}
 }

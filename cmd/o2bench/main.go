@@ -1,12 +1,13 @@
 // Command o2bench regenerates the figures and tables of "Reinventing
 // Scheduling for Multicore Systems" (HotOS 2009) on the simulated AMD16
-// machine, plus the ablations of the design extensions from §6.
+// machine, plus the ablations of the design extensions from §6. It is a
+// thin wrapper over the public repro/o2 package.
 //
 // Usage:
 //
 //	o2bench fig4a [-quick] [-seed N]    Figure 4(a): uniform popularity
 //	o2bench fig4b [-quick] [-seed N]    Figure 4(b): oscillating popularity
-//	o2bench fig2                        Figure 2: cache contents maps
+//	o2bench fig2 [-dirs N] [-threads N] Figure 2: cache contents maps
 //	o2bench latency                     §5 latency table
 //	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
 //	o2bench ablation -exp=NAME          clustering|replication|replacement|
@@ -22,7 +23,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
+	"repro/o2"
 )
 
 func main() {
@@ -65,7 +66,8 @@ func usage() {
 
   o2bench fig4a [-quick] [-seed N]   Figure 4(a): uniform directory popularity
   o2bench fig4b [-quick] [-seed N]   Figure 4(b): oscillating popularity
-  o2bench fig2                       Figure 2: cache-contents maps
+  o2bench fig2 [-dirs N] [-entries N] [-threads N] [-seed N]
+                                     Figure 2: cache-contents maps
   o2bench latency                    hardware latency table (§5)
   o2bench migration [-trials N]      migration cost microbenchmark (§5)
   o2bench ablation -exp=NAME         clustering|replication|replacement|migcost|hetero|paths|single|all
@@ -73,17 +75,17 @@ func usage() {
 `)
 }
 
-func fig4Flags(args []string) (bench.Fig4Config, bool, error) {
+func fig4Flags(args []string) (o2.Fig4Config, bool, error) {
 	fs := flag.NewFlagSet("fig4", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sweep (fewer points, shorter windows)")
 	seed := fs.Uint64("seed", 1, "workload RNG seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	if err := fs.Parse(args); err != nil {
-		return bench.Fig4Config{}, false, err
+		return o2.Fig4Config{}, false, err
 	}
-	cfg := bench.DefaultFig4Config()
+	cfg := o2.DefaultFig4Config()
 	if *quick {
-		cfg = bench.QuickFig4Config()
+		cfg = o2.QuickFig4Config()
 	}
 	cfg.Params.Seed = *seed
 	cfg.Progress = os.Stderr
@@ -96,42 +98,51 @@ func runFig4(args []string, uniform bool) error {
 		return err
 	}
 	title := "Figure 4(b): file system results, oscillated directory popularity"
-	runner := bench.Fig4b
+	runner := o2.Fig4b
 	if uniform {
 		title = "Figure 4(a): file system results, uniform directory popularity"
-		runner = bench.Fig4a
+		runner = o2.Fig4a
 	}
 	rows, err := runner(cfg)
 	if err != nil {
 		return err
 	}
 	if csv {
-		bench.WriteFig4CSV(os.Stdout, rows)
+		o2.WriteFig4CSV(os.Stdout, rows)
 		return nil
 	}
-	bench.WriteFig4Table(os.Stdout, title, rows)
+	o2.WriteFig4Table(os.Stdout, title, rows)
 	return nil
 }
 
 func runFig2(args []string) error {
-	cfg := bench.DefaultFig2Config()
-	base, o2, err := bench.Fig2(cfg)
+	cfg := o2.DefaultFig2Config()
+	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
+	fs.IntVar(&cfg.Dirs, "dirs", cfg.Dirs, "number of directories")
+	fs.IntVar(&cfg.EntriesPerDir, "entries", cfg.EntriesPerDir, "entries per directory (32 bytes each)")
+	fs.IntVar(&cfg.Threads, "threads", cfg.Threads, "worker threads")
+	fs.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "workload RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, ct, err := o2.Fig2(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println("# Figure 2: cache contents for the directory-lookup workload")
-	bench.WriteCacheMap(os.Stdout, cfg.Machine, base)
+	fmt.Printf("# Figure 2: cache contents, %d directories × %d entries on %s\n\n",
+		cfg.Dirs, cfg.EntriesPerDir, cfg.Machine.Name())
+	o2.WriteCacheMap(os.Stdout, cfg.Machine, base)
 	fmt.Println()
-	bench.WriteCacheMap(os.Stdout, cfg.Machine, o2)
+	o2.WriteCacheMap(os.Stdout, cfg.Machine, ct)
 	return nil
 }
 
 func runLatency() error {
-	rows, err := bench.LatencyTable()
+	rows, err := o2.LatencyTable()
 	if err != nil {
 		return err
 	}
-	bench.WriteLatencyTable(os.Stdout, rows)
+	o2.WriteLatencyTable(os.Stdout, rows)
 	return nil
 }
 
@@ -141,11 +152,11 @@ func runMigration(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	r, err := bench.MigrationCost(*trials)
+	r, err := o2.MigrationCost(*trials)
 	if err != nil {
 		return err
 	}
-	bench.WriteMigrationResult(os.Stdout, r)
+	o2.WriteMigrationResult(os.Stdout, r)
 	return nil
 }
 
@@ -155,30 +166,16 @@ func runAblation(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	type abl struct {
-		name  string
-		title string
-		run   func() ([]bench.AblationRow, error)
-	}
-	all := []abl{
-		{"clustering", "A1: object clustering (§6.2)", bench.AblationClustering},
-		{"replication", "A2: read-only replication (§6.2)", bench.AblationReplication},
-		{"replacement", "A3: over-capacity replacement policy (§6.2)", bench.AblationReplacement},
-		{"migcost", "A4: migration-cost sensitivity (§6.1)", bench.AblationMigrationCost},
-		{"hetero", "A5: heterogeneous cores (§6.1)", bench.AblationHeterogeneous},
-		{"paths", "A6: clustering on hierarchical path resolution (§6.2)", bench.AblationPathClustering},
-		{"single", "A7: single-threaded application using the whole chip's caches (§1)", bench.AblationSingleThread},
-	}
 	ran := false
-	for _, a := range all {
-		if *exp != "all" && *exp != a.name {
+	for _, a := range o2.Ablations() {
+		if *exp != "all" && *exp != a.Name {
 			continue
 		}
-		rows, err := a.run()
+		rows, err := a.Run()
 		if err != nil {
-			return fmt.Errorf("%s: %w", a.name, err)
+			return fmt.Errorf("%s: %w", a.Name, err)
 		}
-		bench.WriteAblation(os.Stdout, a.title, rows)
+		o2.WriteAblation(os.Stdout, a.Title, rows)
 		fmt.Println()
 		ran = true
 	}

@@ -3,8 +3,11 @@
 // HotOS XII, 2009): the O2 scheduling model and the CoreTime runtime,
 // evaluated on a simulated 16-core AMD machine.
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); cmd/o2bench regenerates every figure and table of the
-// paper's evaluation, and bench_test.go exposes the same experiments as
-// testing.B benchmarks.
+// The public API is the o2 package — functional-options runtime
+// construction, scoped Begin/End operation handles, built workloads, and
+// the experiment harness; see DESIGN.md for the system inventory and
+// layer diagram. The implementation lives under internal/ and is free to
+// evolve behind that façade. cmd/o2bench regenerates every figure and
+// table of the paper's evaluation, and bench_test.go exposes the same
+// experiments as testing.B benchmarks.
 package repro

@@ -1,7 +1,7 @@
 // Kvstore: O2 scheduling beyond the file system. A sharded in-memory
 // key-value store runs on the simulated machine: each shard (a hash-bucket
 // region) is a CoreTime object; point reads, range scans, and writes are
-// operations.
+// operations. Everything goes through the public repro/o2 façade.
 //
 // The workload mixes two access patterns that pull CoreTime in opposite
 // directions:
@@ -14,7 +14,7 @@
 //
 // Run with:
 //
-//	go run ./examples/kvstore [-shards N] [-hot 0.6] [-scans 0.4] [-puts 0.01]
+//	go run ./examples/kvstore [-shards N] [-scans 0.4] [-puts 0.01]
 package main
 
 import (
@@ -22,14 +22,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/machine"
-	"repro/internal/mem"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"repro/o2"
 )
 
 const (
@@ -41,14 +34,13 @@ const (
 // uint64; each shard is a contiguous array of 64-byte slots registered as
 // one CoreTime object.
 type store struct {
-	m      *machine.Machine
-	shards []*mem.Object
+	shards []*o2.Object
 }
 
-func newStore(m *machine.Machine, shards int) (*store, error) {
-	s := &store{m: m}
+func newStore(rt *o2.Runtime, shards int) (*store, error) {
+	s := &store{}
 	for i := 0; i < shards; i++ {
-		obj, err := m.Image().AllocObject(fmt.Sprintf("shard%02d", i), shardBytes)
+		obj, err := rt.NewObject(fmt.Sprintf("shard%02d", i), shardBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -57,36 +49,36 @@ func newStore(m *machine.Machine, shards int) (*store, error) {
 	return s, nil
 }
 
-func (s *store) shardOf(key uint64) *mem.Object {
+func (s *store) shardOf(key uint64) *o2.Object {
 	return s.shards[int(key%uint64(len(s.shards)))]
 }
 
 // slotAddr picks the slot within the shard by open addressing on the key.
-func (s *store) slotAddr(obj *mem.Object, key uint64) mem.Addr {
-	slots := uint64(obj.Size / slotBytes)
-	return obj.Base + mem.Addr((key/uint64(len(s.shards))%slots)*slotBytes)
+func (s *store) slotAddr(obj *o2.Object, key uint64) o2.Addr {
+	slots := uint64(obj.Size() / slotBytes)
+	return obj.Addr(int((key / uint64(len(s.shards)) % slots) * slotBytes))
 }
 
 // get probes a run of collision slots (open addressing) and
 // deserializes the value.
-func (s *store) get(t *exec.Thread, key uint64) {
+func (s *store) get(t *o2.Thread, key uint64) {
 	obj := s.shardOf(key)
 	a := s.slotAddr(obj, key)
 	probe := 8 * slotBytes
-	if a+mem.Addr(probe) > obj.End() {
-		a = obj.End() - mem.Addr(probe)
+	if a+o2.Addr(probe) > obj.Addr(obj.Size()) {
+		a = obj.Addr(obj.Size() - probe)
 	}
 	t.Load(a, probe)
 	t.Compute(160) // compare keys + deserialize value
 }
 
 // scan reads the whole shard (a range query over its slots).
-func (s *store) scan(t *exec.Thread, obj *mem.Object) {
-	t.LoadCompute(obj.Base, int(obj.Size), 0.03)
+func (s *store) scan(t *o2.Thread, obj *o2.Object) {
+	t.LoadCompute(obj.Addr(0), obj.Size(), 0.03)
 }
 
 // put writes the slot.
-func (s *store) put(t *exec.Thread, key uint64) {
+func (s *store) put(t *o2.Thread, key uint64) {
 	obj := s.shardOf(key)
 	t.Store(s.slotAddr(obj, key), slotBytes)
 	t.Compute(30)
@@ -102,18 +94,17 @@ func main() {
 	fmt.Printf("kvstore: %d shards × %d KB; %.0f%% point reads on the hot shard, %.0f%% range scans, %.1f%% writes\n\n",
 		*shards, shardBytes/1024, (1-*scans-*puts)*100, *scans*100, *puts*100)
 
-	plain := core.DefaultOptions()
 	// KV operations touch few lines compared to directory scans, so the
 	// "expensive to fetch" threshold is lowered accordingly.
-	plain.MissThreshold = 3
-	replicated := plain
-	replicated.EnableReplication = true
-	replicated.ReplicateMinOps = 24
-	replicated.ReplicateReadRatio = 0.90
+	plain := []o2.Option{o2.WithMissThreshold(3)}
+	replicated := append(plain[:len(plain):len(plain)],
+		o2.WithReplication(true),
+		o2.WithReplicationThreshold(24, 0.90),
+	)
 
-	kopsBase := run(*shards, *scans, *puts, *opsPer, nil)
-	kopsPlain := run(*shards, *scans, *puts, *opsPer, &plain)
-	kopsRepl := run(*shards, *scans, *puts, *opsPer, &replicated)
+	kopsBase := run(*shards, *scans, *puts, *opsPer, o2.WithScheduler(o2.Baseline))
+	kopsPlain := run(*shards, *scans, *puts, *opsPer, plain...)
+	kopsRepl := run(*shards, *scans, *puts, *opsPer, replicated...)
 
 	fmt.Printf("%-34s %10s\n", "configuration", "kops/sec")
 	fmt.Printf("%-34s %10.0f\n", "thread scheduler", kopsBase)
@@ -122,53 +113,44 @@ func main() {
 	fmt.Printf("\nreplication speedup over plain coretime: %.2fx\n", kopsRepl/kopsPlain)
 }
 
-func run(shards int, scans, puts float64, opsPer int, ctOpts *core.Options) float64 {
-	eng := sim.NewEngine()
-	m, err := machine.New(topology.Tiny8(), 64<<20)
+func run(shards int, scans, puts float64, opsPer int, opts ...o2.Option) float64 {
+	rt, err := o2.New(append([]o2.Option{o2.WithTopology(o2.Tiny8)}, opts...)...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
-	st, err := newStore(m, shards)
+	st, err := newStore(rt, shards)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var ann sched.Annotator = sched.ThreadScheduler{}
-	if ctOpts != nil {
-		ann = core.New(sys, *ctOpts)
-	}
-
-	workers := m.Config().NumCores()
-	var done sim.Time
-	master := stats.NewRNG(7)
+	workers := rt.NumCores()
+	var done o2.Time
+	master := o2.NewRNG(7)
 	for w := 0; w < workers; w++ {
 		rng := master.Split()
-		sys.Go(fmt.Sprintf("client %d", w), w, func(t *exec.Thread) {
+		rt.Go(fmt.Sprintf("client %d", w), w, func(t *o2.Thread) {
 			for i := 0; i < opsPer; i++ {
 				r := rng.Float64()
 				switch {
 				case r < puts:
 					// Point write to a random shard.
 					key := rng.Uint64()
-					obj := st.shardOf(key)
-					ann.OpStart(t, obj.Base)
+					op := t.Begin(st.shardOf(key))
 					st.put(t, key)
-					ann.OpEnd(t)
+					op.End()
 				case r < puts+scans:
 					// Range scan over a random shard: reads the
 					// whole shard and never writes it.
 					obj := st.shards[rng.Intn(shards)]
-					sched.OpStartRO(ann, t, obj.Base)
+					op := t.BeginRO(obj)
 					st.scan(t, obj)
-					ann.OpEnd(t)
+					op.End()
 				default:
 					// Point read on the hot shard.
 					key := rng.Uint64() * uint64(shards) // ≡ 0 mod shards
-					obj := st.shardOf(key)
-					sched.OpStartRO(ann, t, obj.Base)
+					op := t.BeginRO(st.shardOf(key))
 					st.get(t, key)
-					ann.OpEnd(t)
+					op.End()
 				}
 				t.Yield()
 			}
@@ -177,9 +159,9 @@ func run(shards int, scans, puts float64, opsPer int, ctOpts *core.Options) floa
 			}
 		})
 	}
-	eng.Run(0)
+	rt.Run()
 
 	total := float64(workers * opsPer)
-	seconds := float64(done) / m.Config().ClockHz
+	seconds := float64(done) / rt.ClockHz()
 	return total / seconds / 1000
 }

@@ -3,7 +3,7 @@
 // directories and a quarter of them; the example prints a timeline of
 // per-phase throughput together with the monitor's actions — placements,
 // decays, and rebalancing moves — so you can watch the scheduler chase the
-// working set.
+// working set. Built entirely on the public repro/o2 façade.
 //
 // Run with:
 //
@@ -16,14 +16,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/o2"
 )
 
 func main() {
@@ -34,50 +27,47 @@ func main() {
 	dumpTrace := flag.Bool("trace", false, "dump the scheduler's decision trace at the end")
 	flag.Parse()
 
-	spec := workload.DirSpec{Dirs: *dirs, EntriesPerDir: *entries}
-	env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	rt, err := o2.New(
+		o2.WithTopology(o2.Tiny8),
+		o2.WithRebalanceInterval(o2.Cycles(*period/4)),
+		o2.WithDecayWindow(o2.Cycles(*period)*3/2),
+		o2.WithTrace(256),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	opts := core.DefaultOptions()
-	opts.RebalanceInterval = sim.Cycles(*period / 4)
-	opts.DecayWindow = sim.Cycles(*period) * 3 / 2
-	tracer := trace.New(256)
-	opts.Tracer = tracer
-	rt := core.New(env.Sys, opts)
+	spec := o2.DirSpec{Dirs: *dirs, EntriesPerDir: *entries}
+	tree, err := rt.NewDirTree(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("oscillate: %d dirs × %d entries (%d KB); active set alternates %d ⇄ %d dirs every %d cycles\n\n",
 		*dirs, *entries, spec.TotalBytes()/1024, *dirs, *dirs/4, *period)
 
 	// Worker threads: the Fig. 1 loop with an oscillating directory
 	// choice.
-	deadline := sim.Time(uint64(*phases) * *period)
+	deadline := o2.Time(uint64(*phases) * *period)
 	counts := make([]uint64, *phases)
-	master := stats.NewRNG(3)
-	homes := sched.RoundRobin(env.Mach.Config().NumCores(), env.Mach.Config().NumCores())
-	for w := 0; w < env.Mach.Config().NumCores(); w++ {
+	master := o2.NewRNG(3)
+	ncores := rt.NumCores()
+	homes := o2.RoundRobin(ncores, ncores)
+	for w := 0; w < ncores; w++ {
 		rng := master.Split()
-		env.Sys.Go(fmt.Sprintf("thread %d", w), homes[w], func(t *exec.Thread) {
+		rt.Go(fmt.Sprintf("thread %d", w), homes[w], func(t *o2.Thread) {
 			for t.Now() < deadline {
 				phase := int(uint64(t.Now()) / *period)
 				n := *dirs
 				if phase%2 == 1 {
 					n = *dirs / 4
 				}
-				d := env.Dirs[rng.Intn(n)]
-				name := d.Names[rng.Intn(len(d.Names))]
+				d := tree.Dir(rng.Intn(n))
+				name := d.EntryName(rng.Intn(d.NumEntries()))
 
 				t.Compute(60)
-				rt.OpStart(t, d.Obj.Base)
-				t.Lock(d.Lock)
-				b := t.NewBatch()
-				if _, err := env.FS.Lookup(b, d.Dir, name); err != nil {
-					panic(err)
-				}
-				b.Commit()
-				t.Unlock(d.Lock)
-				rt.OpEnd(t)
+				op := t.Begin(d.Object())
+				d.Lookup(t, name)
+				op.End()
 
 				if phase < len(counts) {
 					counts[phase]++
@@ -88,16 +78,16 @@ func main() {
 	}
 
 	// Phase reporter: print throughput and monitor activity per phase.
-	last := rt.Stats()
+	last := rt.SchedStats()
 	for ph := 1; ph <= *phases; ph++ {
 		ph := ph
-		env.Eng.At(sim.Time(uint64(ph)**period), func() {
-			s := rt.Stats()
+		rt.At(o2.Time(uint64(ph)**period), func() {
+			s := rt.SchedStats()
 			active := *dirs
 			if (ph-1)%2 == 1 {
 				active = *dirs / 4
 			}
-			kres := float64(counts[ph-1]) / (float64(*period) / env.Mach.Config().ClockHz) / 1000
+			kres := float64(counts[ph-1]) / (float64(*period) / rt.ClockHz()) / 1000
 			fmt.Printf("phase %2d  active=%2d dirs  %7.0f kres/s   +placements=%-3d +unplacements=%-3d +moves=%-3d +migrations=%d\n",
 				ph, active, kres,
 				s.Placements-last.Placements,
@@ -108,14 +98,14 @@ func main() {
 		})
 	}
 
-	env.Eng.Run(deadline + 1)
+	rt.RunUntil(deadline + 1)
 
-	s := rt.Stats()
+	s := rt.SchedStats()
 	fmt.Printf("\ntotals: %d ops, %d migrations, %d placements, %d unplacements, %d monitor moves\n",
 		s.Ops, s.Migrations, s.Placements, s.Unplacements, s.ObjectsMoved)
 
 	if *dumpTrace {
-		fmt.Printf("\nlast %d scheduler decisions (cycle, kind, subject):\n", len(tracer.Events()))
-		tracer.Dump(os.Stdout)
+		fmt.Printf("\nlast %d scheduler decisions (cycle, kind, subject):\n", len(rt.TraceEvents()))
+		rt.DumpTrace(os.Stdout)
 	}
 }

@@ -1,4 +1,5 @@
-// Quickstart: the smallest complete CoreTime program.
+// Quickstart: the smallest complete CoreTime program, written against the
+// public repro/o2 façade.
 //
 // It builds a simulated 8-core machine, formats a FAT volume with eight
 // 512-entry directories (the paper's Figure 1 workload, scaled down), and
@@ -15,20 +16,16 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/sched"
-	"repro/internal/topology"
-	"repro/internal/workload"
+	"repro/o2"
 )
 
 func main() {
 	// Eight directories of 512 entries: 128 KB of directory data on a
 	// machine whose chips cache 64 KB each — too big for one chip, small
 	// enough for the machine, exactly the regime O2 scheduling targets.
-	spec := workload.DirSpec{Dirs: 8, EntriesPerDir: 512}
+	spec := o2.DirSpec{Dirs: 8, EntriesPerDir: 512}
 
-	params := workload.DefaultRunParams()
+	params := o2.DefaultRunParams()
 	params.Threads = 8
 	params.Warmup = 1_000_000  // cycles before measurement starts
 	params.Measure = 2_000_000 // measured window
@@ -39,20 +36,28 @@ func main() {
 
 	// Baseline: the traditional thread scheduler. Threads stay on their
 	// home cores; caches fill implicitly.
-	envBase, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	base, err := o2.Experiment{
+		Machine: o2.Tiny8,
+		Tree:    spec,
+		Params:  params,
+	}.Run(o2.WithScheduler(o2.Baseline))
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := workload.RunDirLookup(envBase, sched.ThreadScheduler{}, params)
 
 	// CoreTime: directories become objects, lookups become operations,
 	// and threads migrate to the core caching the directory they need.
-	envCT, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	// Built by hand (rather than Experiment) so we can inspect placement
+	// afterwards.
+	rt, err := o2.New(o2.WithTopology(o2.Tiny8), o2.WithScheduler(o2.CoreTime))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := core.New(envCT.Sys, core.DefaultOptions())
-	ct := workload.RunDirLookup(envCT, rt, params)
+	tree, err := rt.NewDirTree(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct := tree.Run(params)
 
 	fmt.Printf("%-20s %12s %12s\n", "scheduler", "resolutions", "kres/sec")
 	fmt.Printf("%-20s %12d %12.0f\n", base.Scheduler, base.Resolutions, base.KResPerSec)
@@ -62,11 +67,12 @@ func main() {
 
 	// Where did CoreTime put the directories?
 	fmt.Println("\nobject placement (directory → core):")
-	for _, d := range envCT.Dirs {
-		if c, ok := rt.Placement(d.Obj.Base); ok {
-			fmt.Printf("  %-10s core %d\n", d.Obj.Name, c)
+	for i := 0; i < tree.Len(); i++ {
+		obj := tree.Dir(i).Object()
+		if c, ok := rt.Placement(obj); ok {
+			fmt.Printf("  %-10s core %d\n", obj.Name(), c)
 		} else {
-			fmt.Printf("  %-10s unplaced (hardware-managed)\n", d.Obj.Name)
+			fmt.Printf("  %-10s unplaced (hardware-managed)\n", obj.Name())
 		}
 	}
 }

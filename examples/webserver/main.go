@@ -6,7 +6,8 @@
 // worker threads receive requests for paths like /DIR00012/F0000345 and
 // resolve them against the FAT volume (one directory-scan per path
 // component). It reports throughput and request latency percentiles under
-// the thread scheduler and under CoreTime.
+// the thread scheduler and under CoreTime, entirely through the public
+// repro/o2 façade.
 //
 // Run with:
 //
@@ -18,13 +19,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
-	"repro/internal/workload"
+	"repro/o2"
 )
 
 func main() {
@@ -35,65 +30,58 @@ func main() {
 	seed := flag.Uint64("seed", 1, "request stream seed")
 	flag.Parse()
 
-	spec := workload.DirSpec{Dirs: *docroots, EntriesPerDir: *files}
+	spec := o2.DirSpec{Dirs: *docroots, EntriesPerDir: *files}
 	fmt.Printf("webserver: %d workers serving %d vhosts × %d files (%d KB of metadata)\n\n",
 		*workers, *docroots, *files, spec.TotalBytes()/1024)
 
-	baseThr, baseLat := run(spec, *workers, *requests, *seed, nil)
-	opts := core.DefaultOptions()
-	ctThr, ctLat := run(spec, *workers, *requests, *seed, &opts)
+	baseThr, baseLat := run(spec, *workers, *requests, *seed, o2.Baseline)
+	ctThr, ctLat := run(spec, *workers, *requests, *seed, o2.CoreTime)
 
 	fmt.Printf("%-18s %14s %12s %12s %12s\n",
 		"scheduler", "requests/sec", "p50 (µs)", "p95 (µs)", "p99 (µs)")
 	report := func(name string, thr float64, lat []float64) {
 		fmt.Printf("%-18s %14.0f %12.1f %12.1f %12.1f\n", name, thr,
-			stats.Percentile(lat, 50), stats.Percentile(lat, 95), stats.Percentile(lat, 99))
+			o2.Percentile(lat, 50), o2.Percentile(lat, 95), o2.Percentile(lat, 99))
 	}
-	report("thread-scheduler", baseThr, baseLat)
-	report("coretime", ctThr, ctLat)
+	report(o2.Baseline.String(), baseThr, baseLat)
+	report(o2.CoreTime.String(), ctThr, ctLat)
 	fmt.Printf("\nCoreTime speedup: %.2fx\n", ctThr/baseThr)
 }
 
 // run serves `requests` requests per worker and returns throughput
 // (requests per simulated second) and per-request latencies in
 // microseconds of simulated time.
-func run(spec workload.DirSpec, workers, requests int, seed uint64, ctOpts *core.Options) (float64, []float64) {
-	env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+func run(spec o2.DirSpec, workers, requests int, seed uint64, scheduler o2.Scheduler) (float64, []float64) {
+	rt, err := o2.New(o2.WithTopology(o2.Tiny8), o2.WithScheduler(scheduler))
 	if err != nil {
 		log.Fatal(err)
 	}
-	var ann sched.Annotator = sched.ThreadScheduler{}
-	if ctOpts != nil {
-		ann = core.New(env.Sys, *ctOpts)
+	tree, err := rt.NewDirTree(spec)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	clock := env.Mach.Config().ClockHz
+	clock := rt.ClockHz()
 	var latencies []float64
-	var done sim.Time
+	var done o2.Time
 
-	homes := sched.RoundRobin(workers, env.Mach.Config().NumCores())
-	master := stats.NewRNG(seed)
+	homes := o2.RoundRobin(workers, rt.NumCores())
+	master := o2.NewRNG(seed)
 	for w := 0; w < workers; w++ {
 		rng := master.Split()
-		env.Sys.Go(fmt.Sprintf("worker %d", w), homes[w], func(t *exec.Thread) {
+		rt.Go(fmt.Sprintf("worker %d", w), homes[w], func(t *o2.Thread) {
 			for r := 0; r < requests; r++ {
-				d := env.Dirs[rng.Intn(len(env.Dirs))]
-				name := d.Names[rng.Intn(len(d.Names))]
+				d := tree.Dir(rng.Intn(tree.Len()))
+				name := d.EntryName(rng.Intn(d.NumEntries()))
 
 				start := t.Now()
 				// Parse + dispatch overhead of a request.
 				t.Compute(400)
 				// Resolve the path: the directory scan is the
 				// operation, the directory the object (Fig. 3).
-				ann.OpStart(t, d.Obj.Base)
-				t.Lock(d.Lock)
-				b := t.NewBatch()
-				if _, err := env.FS.Lookup(b, d.Dir, name); err != nil {
-					panic(err)
-				}
-				b.Commit()
-				t.Unlock(d.Lock)
-				ann.OpEnd(t)
+				op := t.Begin(d.Object())
+				d.Lookup(t, name)
+				op.End()
 				// Build and "send" the response headers.
 				t.Compute(600)
 
@@ -106,7 +94,7 @@ func run(spec workload.DirSpec, workers, requests int, seed uint64, ctOpts *core
 			}
 		})
 	}
-	env.Eng.Run(0)
+	rt.Run()
 
 	total := workers * requests
 	seconds := float64(done) / clock

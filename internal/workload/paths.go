@@ -35,6 +35,12 @@ func (s PathSpec) TotalBytes() int {
 	return top + sub
 }
 
+// VolumeBytes returns the FAT volume size that holds the tree.
+func (s PathSpec) VolumeBytes() int { return s.TotalBytes()*2 + (8 << 20) }
+
+// ImageBytes returns the machine memory image size the environment needs.
+func (s PathSpec) ImageBytes() int { return s.VolumeBytes() + (4 << 20) }
+
 // PathNode bundles one directory of the tree.
 type PathNode struct {
 	Dir  fatfs.Dir
@@ -66,15 +72,24 @@ func BuildPathEnv(cfg topology.Config, execOpts exec.Options, spec PathSpec) (*P
 	if spec.TopDirs <= 0 || spec.SubsPerTop <= 0 || spec.FilesPerSub <= 0 {
 		return nil, fmt.Errorf("workload: invalid path spec %+v", spec)
 	}
-	volBytes := spec.TotalBytes()*2 + (8 << 20)
 	eng := sim.NewEngine()
-	m, err := machine.New(cfg, volBytes+(4<<20))
+	m, err := machine.New(cfg, spec.ImageBytes())
 	if err != nil {
 		return nil, err
 	}
-	sys := exec.NewSystem(eng, m, execOpts)
+	return BuildPathEnvOn(exec.NewSystem(eng, m, execOpts), spec)
+}
+
+// BuildPathEnvOn builds the two-level tree on an existing substrate,
+// formatting the FAT volume inside the machine's memory image (see
+// BuildEnvOn).
+func BuildPathEnvOn(sys *exec.System, spec PathSpec) (*PathEnv, error) {
+	if spec.TopDirs <= 0 || spec.SubsPerTop <= 0 || spec.FilesPerSub <= 0 {
+		return nil, fmt.Errorf("workload: invalid path spec %+v", spec)
+	}
+	eng, m := sys.Engine(), sys.Machine()
 	fs, err := fatfs.Format(m.Image(), fatfs.Config{
-		TotalBytes:        volBytes,
+		TotalBytes:        spec.VolumeBytes(),
 		SectorsPerCluster: 8,
 		RootEntries:       rootEntriesFor(spec.TopDirs),
 	})

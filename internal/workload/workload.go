@@ -31,6 +31,14 @@ type DirSpec struct {
 // TotalBytes returns the directory data footprint, the x-axis of Fig. 4.
 func (d DirSpec) TotalBytes() int { return d.Dirs * d.EntriesPerDir * fatfs.DirEntrySize }
 
+// VolumeBytes returns the FAT volume size that holds the tree: directory
+// data plus FAT/root metadata plus slack.
+func (d DirSpec) VolumeBytes() int { return d.TotalBytes()*2 + (8 << 20) }
+
+// ImageBytes returns the machine memory image size the environment needs:
+// the volume plus room for locks and thread contexts.
+func (d DirSpec) ImageBytes() int { return d.VolumeBytes() + (4 << 20) }
+
 // DirHandle bundles everything the drivers need per directory.
 type DirHandle struct {
 	Dir   fatfs.Dir
@@ -59,20 +67,26 @@ func BuildEnv(cfg topology.Config, execOpts exec.Options, spec DirSpec) (*Env, e
 	if spec.Dirs <= 0 || spec.EntriesPerDir <= 0 {
 		return nil, fmt.Errorf("workload: need positive dirs and entries, got %+v", spec)
 	}
-	// Volume: directory data + FAT/root metadata + slack; image adds
-	// room for locks and thread contexts.
-	need := spec.TotalBytes()
-	volBytes := need*2 + (8 << 20)
-	imgBytes := volBytes + (4 << 20)
-
 	eng := sim.NewEngine()
-	m, err := machine.New(cfg, imgBytes)
+	m, err := machine.New(cfg, spec.ImageBytes())
 	if err != nil {
 		return nil, err
 	}
-	sys := exec.NewSystem(eng, m, execOpts)
+	return BuildEnvOn(exec.NewSystem(eng, m, execOpts), spec)
+}
 
-	fcfg := fatfs.Config{TotalBytes: volBytes, SectorsPerCluster: 8, RootEntries: rootEntriesFor(spec.Dirs)}
+// BuildEnvOn builds the directory-tree environment on an existing
+// substrate, formatting the FAT volume inside the machine's memory image.
+// The image must have room for the volume (see DirSpec.ImageBytes); callers
+// that own machine construction, like the public o2 façade, use this entry
+// point.
+func BuildEnvOn(sys *exec.System, spec DirSpec) (*Env, error) {
+	if spec.Dirs <= 0 || spec.EntriesPerDir <= 0 {
+		return nil, fmt.Errorf("workload: need positive dirs and entries, got %+v", spec)
+	}
+	eng, m := sys.Engine(), sys.Machine()
+
+	fcfg := fatfs.Config{TotalBytes: spec.VolumeBytes(), SectorsPerCluster: 8, RootEntries: rootEntriesFor(spec.Dirs)}
 	fs, err := fatfs.Format(m.Image(), fcfg)
 	if err != nil {
 		return nil, err

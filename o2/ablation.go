@@ -1,18 +1,8 @@
-package bench
+package o2
 
 import (
 	"fmt"
 	"io"
-
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/machine"
-	"repro/internal/mem"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
 // AblationRow is one configuration of an ablation experiment.
@@ -31,25 +21,42 @@ func WriteAblation(w io.Writer, title string, rows []AblationRow) {
 	}
 }
 
-// objEnv is a small non-filesystem environment for ablations that need
-// raw objects: a Tiny8 machine with count objects of size bytes each.
-type objEnv struct {
-	eng  *sim.Engine
-	m    *machine.Machine
-	sys  *exec.System
-	objs []*mem.Object
+// Ablation names one ablation experiment for CLIs and test drivers.
+type Ablation struct {
+	Name  string
+	Title string
+	Run   func() ([]AblationRow, error)
 }
 
-func newObjEnv(cfg topology.Config, count int, size uint64) (*objEnv, error) {
-	eng := sim.NewEngine()
-	m, err := machine.New(cfg, int(size)*count*2+(8<<20))
+// Ablations returns the full ablation registry in report order.
+func Ablations() []Ablation {
+	return []Ablation{
+		{"clustering", "A1: object clustering (§6.2)", AblationClustering},
+		{"replication", "A2: read-only replication (§6.2)", AblationReplication},
+		{"replacement", "A3: over-capacity replacement policy (§6.2)", AblationReplacement},
+		{"migcost", "A4: migration-cost sensitivity (§6.1)", AblationMigrationCost},
+		{"hetero", "A5: heterogeneous cores (§6.1)", AblationHeterogeneous},
+		{"paths", "A6: clustering on hierarchical path resolution (§6.2)", AblationPathClustering},
+		{"single", "A7: single-threaded application using the whole chip's caches (§1)", AblationSingleThread},
+	}
+}
+
+// objBench is a small non-filesystem environment for ablations that need
+// raw objects: a runtime with count objects of size bytes each.
+type objBench struct {
+	rt   *Runtime
+	objs []*Object
+}
+
+func newObjBench(topo Topology, opts []Option, count, size int) (*objBench, error) {
+	all := append([]Option{WithTopology(topo), WithMemory(size*count*2 + (8 << 20))}, opts...)
+	rt, err := New(all...)
 	if err != nil {
 		return nil, err
 	}
-	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
-	e := &objEnv{eng: eng, m: m, sys: sys}
+	e := &objBench{rt: rt}
 	for i := 0; i < count; i++ {
-		obj, err := m.Image().AllocObject(fmt.Sprintf("obj%03d", i), size)
+		obj, err := rt.NewObject(fmt.Sprintf("obj%03d", i), size)
 		if err != nil {
 			return nil, err
 		}
@@ -60,17 +67,17 @@ func newObjEnv(cfg topology.Config, count int, size uint64) (*objEnv, error) {
 
 // runObjOps drives threads that repeatedly run `op` and returns operations
 // per simulated second (in thousands).
-func (e *objEnv) runObjOps(threads int, warmup, measure sim.Cycles, seed uint64,
-	op func(t *exec.Thread, rng *stats.RNG, measured *uint64)) float64 {
-	homes := sched.RoundRobin(threads, e.m.Config().NumCores())
-	measureStart := e.eng.Now() + warmup
+func (e *objBench) runObjOps(threads int, warmup, measure Cycles, seed uint64,
+	op func(t *Thread, rng *RNG, measured *uint64)) float64 {
+	homes := RoundRobin(threads, e.rt.NumCores())
+	measureStart := e.rt.Now() + warmup
 	deadline := measureStart + measure
 	counts := make([]uint64, threads)
-	master := stats.NewRNG(seed)
+	master := NewRNG(seed)
 	for i := 0; i < threads; i++ {
 		i := i
 		rng := master.Split()
-		e.sys.Go(fmt.Sprintf("w%d", i), homes[i], func(t *exec.Thread) {
+		e.rt.Go(fmt.Sprintf("w%d", i), homes[i], func(t *Thread) {
 			for t.Now() < deadline {
 				var measured uint64
 				op(t, rng, &measured)
@@ -81,18 +88,18 @@ func (e *objEnv) runObjOps(threads int, warmup, measure sim.Cycles, seed uint64,
 			}
 		})
 	}
-	e.eng.Run(0)
+	e.rt.Run()
 	var total uint64
 	for _, c := range counts {
 		total += c
 	}
-	seconds := float64(measure) / e.m.Config().ClockHz
+	seconds := float64(measure) / e.rt.ClockHz()
 	return float64(total) / seconds / 1000
 }
 
 const (
-	ablWarmup  sim.Cycles = 1_500_000
-	ablMeasure sim.Cycles = 4_000_000
+	ablWarmup  Cycles = 1_500_000
+	ablMeasure Cycles = 4_000_000
 )
 
 // AblationClustering measures §6.2 object clustering: every operation uses
@@ -105,30 +112,27 @@ func AblationClustering() ([]AblationRow, error) {
 	const size = 8 << 10
 
 	run := func(clustering bool) (float64, error) {
-		env, err := newObjEnv(topology.Tiny8(), 2*pairs, size)
+		env, err := newObjBench(Tiny8, []Option{WithClustering(clustering)}, 2*pairs, size)
 		if err != nil {
 			return 0, err
 		}
-		opts := core.DefaultOptions()
-		opts.EnableClustering = clustering
-		rt := core.New(env.sys, opts)
 		for i := 0; i < pairs; i++ {
-			rt.PlaceTogether(env.objs[2*i].Base, env.objs[2*i+1].Base)
+			env.rt.PlaceTogether(env.objs[2*i], env.objs[2*i+1])
 		}
-		kops := env.runObjOps(8, ablWarmup, ablMeasure, 7, func(t *exec.Thread, rng *stats.RNG, n *uint64) {
+		kops := env.runObjOps(8, ablWarmup, ablMeasure, 7, func(t *Thread, rng *RNG, n *uint64) {
 			i := rng.Intn(pairs)
 			a, b := env.objs[2*i], env.objs[2*i+1]
-			// Nested annotations: the operation on a uses b inside it,
+			// Nested operations: the operation on a uses b inside it,
 			// the co-use pattern clustering targets. Without
-			// clustering the inner annotation migrates to b's core
-			// and back on every operation; with it, b shares a's
-			// core and the inner annotation is free.
-			rt.OpStart(t, a.Base)
-			t.LoadCompute(a.Base, int(a.Size), 0.05)
-			rt.OpStart(t, b.Base)
-			t.LoadCompute(b.Base, int(b.Size), 0.05)
-			rt.OpEnd(t)
-			rt.OpEnd(t)
+			// clustering the inner operation migrates to b's core
+			// and back every time; with it, b shares a's core and
+			// the inner operation is free.
+			opA := t.Begin(a)
+			t.LoadCompute(a.Addr(0), a.Size(), 0.05)
+			opB := t.Begin(b)
+			t.LoadCompute(b.Addr(0), b.Size(), 0.05)
+			opB.End()
+			opA.End()
 			*n = 1
 		})
 		return kops, nil
@@ -155,19 +159,19 @@ func AblationReplication() ([]AblationRow, error) {
 	const size = 8 << 10
 
 	run := func(replication bool) (float64, error) {
-		env, err := newObjEnv(topology.Tiny8(), 1, size)
+		opts := []Option{
+			WithReplication(replication),
+			WithReplicationThreshold(32, 0.95),
+		}
+		env, err := newObjBench(Tiny8, opts, 1, size)
 		if err != nil {
 			return 0, err
 		}
-		opts := core.DefaultOptions()
-		opts.EnableReplication = replication
-		opts.ReplicateMinOps = 32
-		rt := core.New(env.sys, opts)
 		hot := env.objs[0]
-		kops := env.runObjOps(8, ablWarmup, ablMeasure, 11, func(t *exec.Thread, rng *stats.RNG, n *uint64) {
-			rt.OpStartReadOnly(t, hot.Base)
-			t.LoadCompute(hot.Base, int(hot.Size), 0.1)
-			rt.OpEnd(t)
+		kops := env.runObjOps(8, ablWarmup, ablMeasure, 11, func(t *Thread, rng *RNG, n *uint64) {
+			op := t.BeginRO(hot)
+			t.LoadCompute(hot.Addr(0), hot.Size(), 0.1)
+			op.End()
 			*n = 1
 		})
 		return kops, nil
@@ -192,48 +196,41 @@ func AblationReplication() ([]AblationRow, error) {
 // whichever objects crossed the miss threshold first; frequency-based
 // replacement keeps the hot ones.
 func AblationReplacement() ([]AblationRow, error) {
-	spec := workload.DirSpec{Dirs: 32, EntriesPerDir: 512} // 512 KB on a 256 KB machine
+	p := DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = ablWarmup
+	p.Measure = ablMeasure
+	// Adversarial schedule: uniform traffic during warmup fills the
+	// budget with arbitrary directories; then the distribution shifts to
+	// a hot subset. First-fit is stuck with its early picks;
+	// frequency-based replacement revises them.
+	p.Popularity = UniformThenHotspot
+	p.PhaseShiftAt = ablWarmup
+	p.HotDirs = 6
+	p.HotFraction = 0.9
 
-	run := func(policy core.ReplacementPolicy) (float64, error) {
-		env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
-		if err != nil {
-			return 0, err
-		}
-		opts := core.DefaultOptions()
-		opts.Replacement = policy
+	exp := Experiment{
+		Machine: Tiny8,
+		Tree:    DirSpec{Dirs: 32, EntriesPerDir: 512}, // 512 KB on a 256 KB machine
+		Params:  p,
 		// Decay and the DRAM-ineffectiveness unplacer would eventually
 		// free the budget on their own; disable both to isolate the
 		// replacement policy.
-		opts.DecayWindow = 0
-		opts.UnplaceDRAMFrac = 0
-		rt := core.New(env.Sys, opts)
-		p := workload.DefaultRunParams()
-		p.Threads = 8
-		p.Warmup = ablWarmup
-		p.Measure = ablMeasure
-		// Adversarial schedule: uniform traffic during warmup fills the
-		// budget with arbitrary directories; then the distribution
-		// shifts to a hot subset. First-fit is stuck with its early
-		// picks; frequency-based replacement revises them.
-		p.Popularity = workload.UniformThenHotspot
-		p.PhaseShiftAt = ablWarmup
-		p.HotDirs = 6
-		p.HotFraction = 0.9
-		res := workload.RunDirLookup(env, rt, p)
-		return res.KResPerSec, nil
+		Options: []Option{WithDecayWindow(0), WithDRAMUnplaceFraction(0)},
 	}
 
-	ff, err := run(core.ReplaceNone)
+	ff, err := exp.Run(WithReplacement(FirstFit))
 	if err != nil {
 		return nil, err
 	}
-	fr, err := run(core.ReplaceFrequency)
+	fr, err := exp.Run(WithReplacement(Frequency))
 	if err != nil {
 		return nil, err
 	}
 	return []AblationRow{
-		{Config: "first-fit (paper base)", KOps: ff, Note: "placement is first-come"},
-		{Config: "frequency replacement", KOps: fr, Note: fmt.Sprintf("hot objects win space, %.2fx", fr/ff)},
+		{Config: "first-fit (paper base)", KOps: ff.KResPerSec, Note: "placement is first-come"},
+		{Config: "frequency replacement", KOps: fr.KResPerSec,
+			Note: fmt.Sprintf("hot objects win space, %.2fx", fr.KResPerSec/ff.KResPerSec)},
 	}, nil
 }
 
@@ -241,31 +238,31 @@ func AblationReplacement() ([]AblationRow, error) {
 // AMD machine's "high cost to migrate a thread" limits CoreTime; hardware
 // active messages "could reduce the overhead of migration").
 func AblationMigrationCost() ([]AblationRow, error) {
-	spec := workload.DirSpec{Dirs: 8, EntriesPerDir: 512}
-	costs := []sim.Cycles{0, 250, 550, 1500, 4000, 8000}
+	costs := []Cycles{0, 250, 550, 1500, 4000, 8000}
 
-	p := workload.DefaultRunParams()
+	p := DefaultRunParams()
 	p.Threads = 8
 	p.Warmup = ablWarmup
 	p.Measure = ablMeasure
 
+	exp := Experiment{
+		Machine: Tiny8,
+		Tree:    DirSpec{Dirs: 8, EntriesPerDir: 512},
+		Params:  p,
+	}
+
 	// Baseline reference (no migrations at all).
-	envB, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	base, err := exp.Run(WithScheduler(Baseline))
 	if err != nil {
 		return nil, err
 	}
-	base := workload.RunDirLookup(envB, sched.ThreadScheduler{}, p)
 	rows := []AblationRow{{Config: "thread scheduler (reference)", KOps: base.KResPerSec}}
 
 	for _, c := range costs {
-		eopts := exec.DefaultOptions()
-		eopts.MigrationCPUCost = c
-		env, err := workload.BuildEnv(topology.Tiny8(), eopts, spec)
+		res, err := exp.Run(WithMigrationCost(c))
 		if err != nil {
 			return nil, err
 		}
-		rt := core.New(env.Sys, core.DefaultOptions())
-		res := workload.RunDirLookup(env, rt, p)
 		note := ""
 		if c == 0 {
 			note = "≈ hardware active messages"
@@ -286,38 +283,36 @@ func AblationMigrationCost() ([]AblationRow, error) {
 // thread or operation uses two objects simultaneously then it might be
 // best to place both objects in the same cache").
 func AblationPathClustering() ([]AblationRow, error) {
-	spec := workload.PathSpec{TopDirs: 4, SubsPerTop: 6, FilesPerSub: 128}
-	p := workload.DefaultRunParams()
+	spec := PathSpec{TopDirs: 4, SubsPerTop: 6, FilesPerSub: 128}
+	p := DefaultRunParams()
 	p.Threads = 8
 	p.Warmup = ablWarmup
 	p.Measure = ablMeasure
 
-	// Baseline reference.
-	envB, err := workload.BuildPathEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
-	if err != nil {
-		return nil, err
-	}
-	base := workload.RunPathLookup(envB, sched.ThreadScheduler{}, p)
-
-	run := func(clustering bool) (workload.PathResult, error) {
-		env, err := workload.BuildPathEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+	run := func(opts ...Option) (PathResult, error) {
+		rt, err := New(append([]Option{WithTopology(Tiny8)}, opts...)...)
 		if err != nil {
-			return workload.PathResult{}, err
+			return PathResult{}, err
 		}
-		opts := core.DefaultOptions()
-		opts.EnableClustering = clustering
-		opts.MissThreshold = 4 // subdirectory scans are small
-		rt := core.New(env.Sys, opts)
-		for _, hint := range env.ClusterHints() {
-			rt.PlaceTogether(hint...)
+		pt, err := rt.NewPathTree(spec)
+		if err != nil {
+			return PathResult{}, err
 		}
-		return workload.RunPathLookup(env, rt, p), nil
+		pt.ClusterByTop()
+		return pt.Run(p), nil
 	}
-	flat, err := run(false)
+
+	// Baseline reference.
+	base, err := run(WithScheduler(Baseline))
 	if err != nil {
 		return nil, err
 	}
-	clustered, err := run(true)
+	// Subdirectory scans are small, hence the lower placement threshold.
+	flat, err := run(WithMissThreshold(4), WithClustering(false))
+	if err != nil {
+		return nil, err
+	}
+	clustered, err := run(WithMissThreshold(4), WithClustering(true))
 	if err != nil {
 		return nil, err
 	}
@@ -348,29 +343,25 @@ func AblationSingleThread() ([]AblationRow, error) {
 	const objects = 12
 	const size = 16 << 10
 
-	run := func(coretime bool) (float64, error) {
-		env, err := newObjEnv(topology.Tiny8(), objects, size)
+	run := func(scheduler Scheduler) (float64, error) {
+		env, err := newObjBench(Tiny8, []Option{WithScheduler(scheduler)}, objects, size)
 		if err != nil {
 			return 0, err
 		}
-		var ann sched.Annotator = sched.ThreadScheduler{}
-		if coretime {
-			ann = core.New(env.sys, core.DefaultOptions())
-		}
-		kops := env.runObjOps(1, ablWarmup, ablMeasure, 21, func(t *exec.Thread, rng *stats.RNG, n *uint64) {
+		kops := env.runObjOps(1, ablWarmup, ablMeasure, 21, func(t *Thread, rng *RNG, n *uint64) {
 			obj := env.objs[rng.Intn(objects)]
-			ann.OpStart(t, obj.Base)
-			t.LoadCompute(obj.Base, int(obj.Size), 0.05)
-			ann.OpEnd(t)
+			op := t.Begin(obj)
+			t.LoadCompute(obj.Addr(0), obj.Size(), 0.05)
+			op.End()
 			*n = 1
 		})
 		return kops, nil
 	}
-	base, err := run(false)
+	base, err := run(Baseline)
 	if err != nil {
 		return nil, err
 	}
-	ct, err := run(true)
+	ct, err := run(CoreTime)
 	if err != nil {
 		return nil, err
 	}
@@ -387,30 +378,26 @@ func AblationSingleThread() ([]AblationRow, error) {
 // heterogeneous cores, which would complicate the design of a O2
 // scheduler").
 func AblationHeterogeneous() ([]AblationRow, error) {
-	spec := workload.DirSpec{Dirs: 8, EntriesPerDir: 512}
-	cfg := topology.Tiny8()
-	cfg.CoreSpeed = []float64{1, 2, 1, 2, 1, 2, 1, 2} // odd cores half speed
-
-	p := workload.DefaultRunParams()
+	p := DefaultRunParams()
 	p.Threads = 8
 	p.Warmup = ablWarmup
 	p.Measure = ablMeasure
 
-	envB, err := workload.BuildEnv(cfg, exec.DefaultOptions(), spec)
+	exp := Experiment{
+		// Odd cores run at half speed.
+		Machine: Tiny8.WithCoreSpeeds(1, 2, 1, 2, 1, 2, 1, 2),
+		Tree:    DirSpec{Dirs: 8, EntriesPerDir: 512},
+		Params:  p,
+	}
+	base, ct, err := exp.Compare()
 	if err != nil {
 		return nil, err
 	}
-	base := workload.RunDirLookup(envB, sched.ThreadScheduler{}, p)
-
-	envCT, err := workload.BuildEnv(cfg, exec.DefaultOptions(), spec)
-	if err != nil {
-		return nil, err
-	}
-	ct := workload.RunDirLookup(envCT, core.New(envCT.Sys, core.DefaultOptions()), p)
 
 	return []AblationRow{
 		{Config: "hetero, thread scheduler", KOps: base.KResPerSec},
 		{Config: "hetero, coretime", KOps: ct.KResPerSec,
-			Note: fmt.Sprintf("%.2fx; packer is speed-unaware (open problem per §6.1)", ct.KResPerSec/base.KResPerSec)},
+			Note: fmt.Sprintf("%.2fx; packer is speed-unaware (open problem per §6.1)",
+				ct.KResPerSec/base.KResPerSec)},
 	}, nil
 }

@@ -1,13 +1,8 @@
-package bench
+package o2
 
 import (
 	"strings"
 	"testing"
-
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
 func TestLatencyTableMatchesPaper(t *testing.T) {
@@ -58,11 +53,10 @@ func TestFig4SmokeTiny(t *testing.T) {
 	// harness and the headline shape (CoreTime wins once data exceeds a
 	// chip's caches) without AMD16 simulation cost.
 	cfg := Fig4Config{
-		Machine:       topology.Tiny8(),
+		Machine:       Tiny8,
 		DirCounts:     []int{2, 8, 16},
 		EntriesPerDir: 512, // 16 KB per dir
-		Params:        workload.DefaultRunParams(),
-		CoreTime:      core.DefaultOptions(),
+		Params:        DefaultRunParams(),
 	}
 	cfg.Params.Threads = 8
 	cfg.Params.Warmup = 800_000
@@ -102,29 +96,31 @@ func TestFig4bOscillatingSmoke(t *testing.T) {
 	// without it: 24 dirs of 16 KB against a budget of ~8 placements
 	// means the monitor must evict stale placements for the active set
 	// to fit.
-	spec := workload.DirSpec{Dirs: 24, EntriesPerDir: 512}
-	p := workload.DefaultRunParams()
+	p := DefaultRunParams()
 	p.Threads = 8
 	p.Warmup = 900_000
 	p.Measure = 3_600_000
-	p.Popularity = workload.Oscillating
+	p.Popularity = Oscillating
 	p.OscillatePeriod = 600_000
 	p.OscillateDivisor = 4 // small phase: 6 dirs
 
+	exp := Experiment{
+		Machine: Tiny8,
+		Tree:    DirSpec{Dirs: 24, EntriesPerDir: 512},
+		Params:  p,
+	}
 	run := func(monitor bool) float64 {
-		env, err := workload.BuildEnv(topology.Tiny8(), exec.DefaultOptions(), spec)
+		var opts []Option
+		if monitor {
+			opts = []Option{WithRebalanceInterval(150_000), WithDecayWindow(450_000)}
+		} else {
+			opts = []Option{WithRebalanceInterval(0), WithDecayWindow(0)}
+		}
+		res, err := exp.Run(opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
-		opts := core.DefaultOptions()
-		if monitor {
-			opts.RebalanceInterval = 150_000
-			opts.DecayWindow = 450_000
-		} else {
-			opts.RebalanceInterval = 0
-			opts.DecayWindow = 0
-		}
-		return workload.RunDirLookup(env, core.New(env.Sys, opts), p).KResPerSec
+		return res.KResPerSec
 	}
 
 	static := run(false)
@@ -140,27 +136,27 @@ func TestFig4bOscillatingSmoke(t *testing.T) {
 func TestFig2ShowsDeduplication(t *testing.T) {
 	cfg := DefaultFig2Config()
 	cfg.Warmup = 1_500_000
-	base, o2, err := Fig2(cfg)
+	base, o2map, err := Fig2(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("thread scheduler: %d/%d on-chip, duplication %.2f",
 		base.DistinctOnChip, len(base.Dirs), base.Duplication)
 	t.Logf("o2 scheduler:     %d/%d on-chip, duplication %.2f",
-		o2.DistinctOnChip, len(o2.Dirs), o2.Duplication)
+		o2map.DistinctOnChip, len(o2map.Dirs), o2map.Duplication)
 	// The paper's Fig. 2 claim: the O2 scheduler stores more distinct
 	// directories on-chip with less duplication.
-	if o2.DistinctOnChip < base.DistinctOnChip {
+	if o2map.DistinctOnChip < base.DistinctOnChip {
 		t.Errorf("O2 keeps fewer dirs on-chip (%d) than thread scheduling (%d)",
-			o2.DistinctOnChip, base.DistinctOnChip)
+			o2map.DistinctOnChip, base.DistinctOnChip)
 	}
-	if o2.Duplication >= base.Duplication {
+	if o2map.Duplication >= base.Duplication {
 		t.Errorf("O2 duplication %.2f not below thread scheduling %.2f",
-			o2.Duplication, base.Duplication)
+			o2map.Duplication, base.Duplication)
 	}
 	var sb strings.Builder
 	WriteCacheMap(&sb, cfg.Machine, base)
-	WriteCacheMap(&sb, cfg.Machine, o2)
+	WriteCacheMap(&sb, cfg.Machine, o2map)
 	if !strings.Contains(sb.String(), "off-chip") {
 		t.Error("cache map rendering broken")
 	}

@@ -1,0 +1,64 @@
+package o2_test
+
+import (
+	"fmt"
+
+	"repro/o2"
+)
+
+// Example reproduces the quickstart path: compare the traditional thread
+// scheduler against CoreTime on the directory-lookup workload. The
+// simulation is deterministic, so the comparison always lands the same
+// way.
+func Example() {
+	params := o2.DefaultRunParams()
+	params.Threads = 8
+	params.Warmup = 1_000_000
+	params.Measure = 2_000_000
+
+	exp := o2.Experiment{
+		Machine: o2.Tiny8,
+		// 128 KB of directory data: too big for one chip's caches,
+		// small enough for the machine — the regime O2 targets.
+		Tree:   o2.DirSpec{Dirs: 8, EntriesPerDir: 512},
+		Params: params,
+	}
+	base, ct, err := exp.Compare()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(base.Scheduler)
+	fmt.Println(ct.Scheduler)
+	fmt.Println("coretime faster:", ct.KResPerSec > base.KResPerSec)
+	fmt.Println("coretime migrated:", ct.Migrations > 0)
+	// Output:
+	// thread-scheduler
+	// coretime
+	// coretime faster: true
+	// coretime migrated: true
+}
+
+// ExampleRuntime_Go shows the annotation handles on a hand-built workload:
+// one object scanned by four threads under CoreTime.
+func ExampleRuntime_Go() {
+	rt := o2.MustNew(o2.WithTopology(o2.Tiny8), o2.WithMissThreshold(1))
+	table, err := rt.NewObject("table", 8<<10)
+	if err != nil {
+		panic(err)
+	}
+	for w := 0; w < 4; w++ {
+		rt.Go(fmt.Sprintf("worker %d", w), w, func(t *o2.Thread) {
+			for i := 0; i < 50; i++ {
+				op := t.Begin(table) // ct_start: may migrate to the object
+				t.LoadCompute(table.Addr(0), table.Size(), 0.05)
+				op.End() // ct_end
+				t.Yield()
+			}
+		})
+	}
+	rt.Run()
+	_, placed := rt.Placement(table)
+	fmt.Println("object placed:", placed)
+	// Output:
+	// object placed: true
+}

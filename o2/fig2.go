@@ -1,16 +1,9 @@
-package bench
+package o2
 
 import (
 	"fmt"
 	"io"
 	"sort"
-
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/sched"
-	simc "repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
 // Fig. 2 of the paper contrasts the cache contents of the directory
@@ -45,7 +38,7 @@ type CacheMap struct {
 
 // Fig2Config drives the cache-contents experiment.
 type Fig2Config struct {
-	Machine       topology.Config
+	Machine       Topology
 	Dirs          int
 	EntriesPerDir int
 	Threads       int
@@ -61,7 +54,7 @@ type Fig2Config struct {
 // scheduler's partitioned copies all fit.
 func DefaultFig2Config() Fig2Config {
 	return Fig2Config{
-		Machine:       topology.Tiny8(),
+		Machine:       Tiny8,
 		Dirs:          28,
 		EntriesPerDir: 128, // 4 KB per directory
 		Threads:       8,
@@ -74,59 +67,60 @@ func DefaultFig2Config() Fig2Config {
 // cache residency after the warmup, returning (thread-scheduler map,
 // O2-scheduler map).
 func Fig2(cfg Fig2Config) (CacheMap, CacheMap, error) {
-	base, err := fig2One(cfg, false)
+	base, err := fig2One(cfg, Baseline)
 	if err != nil {
 		return CacheMap{}, CacheMap{}, err
 	}
-	o2, err := fig2One(cfg, true)
+	o2map, err := fig2One(cfg, CoreTime)
 	if err != nil {
 		return CacheMap{}, CacheMap{}, err
 	}
-	return base, o2, nil
+	return base, o2map, nil
 }
 
-func fig2One(cfg Fig2Config, coretime bool) (CacheMap, error) {
-	spec := workload.DirSpec{Dirs: cfg.Dirs, EntriesPerDir: cfg.EntriesPerDir}
-	env, err := workload.BuildEnv(cfg.Machine, exec.DefaultOptions(), spec)
+func fig2One(cfg Fig2Config, scheduler Scheduler) (CacheMap, error) {
+	rt, err := New(WithTopology(cfg.Machine), WithScheduler(scheduler))
 	if err != nil {
 		return CacheMap{}, err
 	}
-	var ann sched.Annotator = sched.ThreadScheduler{}
-	if coretime {
-		ann = core.New(env.Sys, core.DefaultOptions())
+	tree, err := rt.NewDirTree(DirSpec{Dirs: cfg.Dirs, EntriesPerDir: cfg.EntriesPerDir})
+	if err != nil {
+		return CacheMap{}, err
 	}
-	p := workload.DefaultRunParams()
+	p := DefaultRunParams()
 	p.Threads = cfg.Threads
 	p.Warmup = 0
-	p.Measure = simc.Cycles(cfg.Warmup)
+	p.Measure = Cycles(cfg.Warmup)
 	p.Seed = cfg.Seed
-	workload.RunDirLookup(env, ann, p)
+	res := tree.Run(p)
 
-	cm := CacheMap{Scheduler: ann.Name()}
+	// Snapshot residency through the machine model; this is simulator
+	// introspection, below the scheduling API.
+	cm := CacheMap{Scheduler: res.Scheduler}
 	var copyTotal, distinctTotal int
-	for _, d := range env.Dirs {
-		r := env.Mach.Residency(d.Obj)
-		res := DirResidency{
-			Name:       d.Obj.Name,
-			SizeBytes:  int(d.Obj.Size),
+	for _, d := range tree.dirs {
+		r := tree.env.Mach.Residency(d.h.Obj)
+		dr := DirResidency{
+			Name:       d.h.Obj.Name,
+			SizeBytes:  int(d.h.Obj.Size),
 			PerL2Bytes: r.L2Bytes,
 			PerL3Bytes: r.L3Bytes,
 		}
-		res.OnChipBytes = res.SizeBytes - r.DRAMBytes
+		dr.OnChipBytes = dr.SizeBytes - r.DRAMBytes
 		for _, b := range r.L2Bytes {
-			res.CopyBytes += b
+			dr.CopyBytes += b
 		}
 		for _, b := range r.L3Bytes {
-			res.CopyBytes += b
+			dr.CopyBytes += b
 		}
-		if res.OnChipBytes*2 >= res.SizeBytes {
+		if dr.OnChipBytes*2 >= dr.SizeBytes {
 			cm.DistinctOnChip++
 		} else {
 			cm.OffChip++
 		}
-		copyTotal += res.CopyBytes
-		distinctTotal += res.OnChipBytes
-		cm.Dirs = append(cm.Dirs, res)
+		copyTotal += dr.CopyBytes
+		distinctTotal += dr.OnChipBytes
+		cm.Dirs = append(cm.Dirs, dr)
 	}
 	if distinctTotal > 0 {
 		cm.Duplication = float64(copyTotal) / float64(distinctTotal)
@@ -138,9 +132,9 @@ func fig2One(cfg Fig2Config, coretime bool) (CacheMap, error) {
 // WriteCacheMap renders a CacheMap in the spirit of the paper's Figure 2:
 // one column per core, directories listed where they are resident, and an
 // off-chip row.
-func WriteCacheMap(w io.Writer, cfg topology.Config, cm CacheMap) {
+func WriteCacheMap(w io.Writer, topo Topology, cm CacheMap) {
 	fmt.Fprintf(w, "# Cache contents — %s\n", cm.Scheduler)
-	for core := 0; core < cfg.NumCores(); core++ {
+	for core := 0; core < topo.NumCores(); core++ {
 		var names []string
 		for _, d := range cm.Dirs {
 			if d.PerL2Bytes[core]*4 >= d.SizeBytes { // ≥25% resident
@@ -149,7 +143,7 @@ func WriteCacheMap(w io.Writer, cfg topology.Config, cm CacheMap) {
 		}
 		fmt.Fprintf(w, "core %2d L2 : %s\n", core, joinOr(names, "-"))
 	}
-	for chip := 0; chip < cfg.Chips; chip++ {
+	for chip := 0; chip < topo.Chips(); chip++ {
 		var names []string
 		for _, d := range cm.Dirs {
 			if d.PerL3Bytes[chip]*4 >= d.SizeBytes {

@@ -1,9 +1,12 @@
-// Package bench regenerates every figure and table of the paper's
-// evaluation, plus the ablations of the design choices called out in
-// DESIGN.md. The cmd/o2bench CLI and the repository's bench_test.go are
-// thin wrappers around this package.
+package o2
+
+// This file and its siblings (fig2.go, micro.go, ablation.go) are the
+// evaluation layer: they regenerate every figure and table of the paper,
+// plus ablations of the §6 design extensions, entirely through the public
+// API above. cmd/o2bench and the repository's bench_test.go are thin
+// wrappers around these entry points.
 //
-// Experiment index (see DESIGN.md §4 and EXPERIMENTS.md):
+// Experiment index (see DESIGN.md):
 //
 //	Fig4a        — uniform directory popularity sweep (paper Fig. 4a)
 //	Fig4b        — oscillating popularity sweep (paper Fig. 4b)
@@ -12,30 +15,28 @@
 //	MigrationCost— §5 "measured cost of migration is 2000 cycles"
 //	Ablations    — clustering, replication, replacement, migration-cost
 //	               sensitivity, heterogeneous cores (§6)
-package bench
 
 import (
 	"fmt"
 	"io"
-
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
 // Fig4Config drives the Fig. 4 sweeps.
 type Fig4Config struct {
-	Machine topology.Config
+	Machine Topology
 	// DirCounts are the x-axis points (number of directories, each
 	// 1,000 entries × 32 bytes = 31.25 KB, matching the paper).
 	DirCounts     []int
 	EntriesPerDir int
-	Params        workload.RunParams
-	// CoreTime options; the monitor is active, as in the paper.
-	CoreTime core.Options
+	Params        RunParams
+	// Rebalance and Decay override the CoreTime monitor cadence; zero
+	// keeps the scheduler default (Fig4b ties them to the oscillation
+	// period instead).
+	Rebalance Cycles
+	Decay     Cycles
+	// CoreTime holds extra options applied to the CoreTime runtime at
+	// each point.
+	CoreTime []Option
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
 }
@@ -44,13 +45,12 @@ type Fig4Config struct {
 // machine swept from 125 KB to 21 MB of directory data.
 func DefaultFig4Config() Fig4Config {
 	return Fig4Config{
-		Machine: topology.AMD16(),
+		Machine: AMD16,
 		DirCounts: []int{
 			4, 8, 16, 32, 64, 112, 160, 224, 288, 352, 416, 480, 544, 608, 672,
 		},
 		EntriesPerDir: 1000,
-		Params:        workload.DefaultRunParams(),
-		CoreTime:      core.DefaultOptions(),
+		Params:        DefaultRunParams(),
 	}
 }
 
@@ -78,7 +78,7 @@ type Fig4Row struct {
 
 // Fig4a regenerates Figure 4(a): uniform directory popularity.
 func Fig4a(cfg Fig4Config) ([]Fig4Row, error) {
-	cfg.Params.Popularity = workload.Uniform
+	cfg.Params.Popularity = Uniform
 	return fig4(cfg)
 }
 
@@ -88,18 +88,18 @@ func Fig4a(cfg Fig4Config) ([]Fig4Row, error) {
 // follow the phase changes (the experiment exists to "demonstrate the
 // ability of CoreTime to rebalance objects", §5).
 func Fig4b(cfg Fig4Config) ([]Fig4Row, error) {
-	cfg.Params.Popularity = workload.Oscillating
+	cfg.Params.Popularity = Oscillating
 	if cfg.Params.OscillatePeriod == 0 {
 		cfg.Params.OscillatePeriod = 2_000_000
 	}
 	if cfg.Params.OscillateDivisor == 0 {
 		cfg.Params.OscillateDivisor = 16
 	}
-	if cfg.CoreTime.RebalanceInterval == core.DefaultOptions().RebalanceInterval {
-		cfg.CoreTime.RebalanceInterval = cfg.Params.OscillatePeriod / 4
+	if cfg.Rebalance == 0 {
+		cfg.Rebalance = cfg.Params.OscillatePeriod / 4
 	}
-	if cfg.CoreTime.DecayWindow == core.DefaultOptions().DecayWindow {
-		cfg.CoreTime.DecayWindow = 2 * cfg.Params.OscillatePeriod
+	if cfg.Decay == 0 {
+		cfg.Decay = 2 * cfg.Params.OscillatePeriod
 	}
 	return fig4(cfg)
 }
@@ -108,22 +108,34 @@ func fig4(cfg Fig4Config) ([]Fig4Row, error) {
 	if cfg.EntriesPerDir == 0 {
 		cfg.EntriesPerDir = 1000
 	}
+	ctOpts := []Option{WithScheduler(CoreTime)}
+	if cfg.Rebalance != 0 {
+		ctOpts = append(ctOpts, WithRebalanceInterval(cfg.Rebalance))
+	}
+	if cfg.Decay != 0 {
+		ctOpts = append(ctOpts, WithDecayWindow(cfg.Decay))
+	}
+	ctOpts = append(ctOpts, cfg.CoreTime...)
+
 	rows := make([]Fig4Row, 0, len(cfg.DirCounts))
 	for _, dirs := range cfg.DirCounts {
-		spec := workload.DirSpec{Dirs: dirs, EntriesPerDir: cfg.EntriesPerDir}
-
-		base, err := runOne(cfg, spec, nil)
-		if err != nil {
-			return nil, fmt.Errorf("bench: baseline at %d dirs: %w", dirs, err)
+		exp := Experiment{
+			Machine: cfg.Machine,
+			Tree:    DirSpec{Dirs: dirs, EntriesPerDir: cfg.EntriesPerDir},
+			Params:  cfg.Params,
 		}
-		ct, err := runOne(cfg, spec, &cfg.CoreTime)
+		base, err := exp.Run(WithScheduler(Baseline))
 		if err != nil {
-			return nil, fmt.Errorf("bench: coretime at %d dirs: %w", dirs, err)
+			return nil, fmt.Errorf("o2: baseline at %d dirs: %w", dirs, err)
+		}
+		ct, err := exp.Run(ctOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("o2: coretime at %d dirs: %w", dirs, err)
 		}
 
 		row := Fig4Row{
 			Dirs:       dirs,
-			DataKB:     float64(spec.TotalBytes()) / 1024,
+			DataKB:     float64(exp.Tree.TotalBytes()) / 1024,
 			BaseKRes:   base.KResPerSec,
 			CTKRes:     ct.KResPerSec,
 			Migrations: ct.Migrations,
@@ -138,20 +150,6 @@ func fig4(cfg Fig4Config) ([]Fig4Row, error) {
 		}
 	}
 	return rows, nil
-}
-
-// runOne measures one (spec, scheduler) point on a fresh environment.
-// ctOpts nil selects the baseline thread scheduler.
-func runOne(cfg Fig4Config, spec workload.DirSpec, ctOpts *core.Options) (workload.Result, error) {
-	env, err := workload.BuildEnv(cfg.Machine, exec.DefaultOptions(), spec)
-	if err != nil {
-		return workload.Result{}, err
-	}
-	var ann sched.Annotator = sched.ThreadScheduler{}
-	if ctOpts != nil {
-		ann = core.New(env.Sys, *ctOpts)
-	}
-	return workload.RunDirLookup(env, ann, cfg.Params), nil
 }
 
 // WriteFig4Table prints rows in the paper's axes (total data size in KB vs
@@ -177,4 +175,4 @@ func WriteFig4CSV(w io.Writer, rows []Fig4Row) {
 }
 
 // cyclesToString formats a cycle count for tables.
-func cyclesToString(c sim.Cycles) string { return fmt.Sprintf("%d", c) }
+func cyclesToString(c Cycles) string { return fmt.Sprintf("%d", c) }

@@ -1,29 +1,28 @@
-package bench
+package o2
 
 import (
 	"fmt"
 	"io"
 
 	"repro/internal/cache"
-	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sim"
-	"repro/internal/topology"
 )
 
 // LatencyRow is one line of the §5 hardware-latency table.
 type LatencyRow struct {
 	Name     string
-	Measured sim.Cycles
-	Paper    sim.Cycles // the value §5 reports, 0 when the paper gives a range
+	Measured Cycles
+	Paper    Cycles // the value §5 reports, 0 when the paper gives a range
 }
 
 // LatencyTable measures the memory-system latencies of the simulated AMD16
 // machine with targeted probes, mirroring the numbers the paper reports in
-// §5: L1 3, L2 14, L3 75 cycles; remote fetches 127–336 cycles.
+// §5: L1 3, L2 14, L3 75 cycles; remote fetches 127–336 cycles. The probes
+// poke the machine model directly, below the scheduling API.
 func LatencyTable() ([]LatencyRow, error) {
-	cfg := topology.AMD16()
+	cfg := AMD16.cfg
 	m, err := machine.New(cfg, 64<<20)
 	if err != nil {
 		return nil, err
@@ -31,7 +30,7 @@ func LatencyTable() ([]LatencyRow, error) {
 	var rows []LatencyRow
 	var at sim.Time
 
-	probe := func(name string, paper sim.Cycles, f func() sim.Cycles) {
+	probe := func(name string, paper Cycles, f func() Cycles) {
 		rows = append(rows, LatencyRow{Name: name, Measured: f(), Paper: paper})
 	}
 
@@ -39,7 +38,7 @@ func LatencyTable() ([]LatencyRow, error) {
 	addr := mem.Addr(64 << 10)
 
 	// L1 hit: touch a line twice.
-	probe("L1 hit", cfg.Lat.L1Hit, func() sim.Cycles {
+	probe("L1 hit", cfg.Lat.L1Hit, func() Cycles {
 		at += m.Access(0, addr, false, at)
 		lat := m.Access(0, addr, false, at)
 		at += lat
@@ -48,7 +47,7 @@ func LatencyTable() ([]LatencyRow, error) {
 
 	// L2 hit: evict the probe line from L1 by streaming other lines
 	// until it leaves L1 (it stays in the much larger L2), then reload.
-	probe("L2 hit", cfg.Lat.L2Hit, func() sim.Cycles {
+	probe("L2 hit", cfg.Lat.L2Hit, func() Cycles {
 		target := addr + 128<<10
 		at += m.Access(0, target, false, at)
 		tl := cache.LineOf(target, m.LineSize())
@@ -69,7 +68,7 @@ func LatencyTable() ([]LatencyRow, error) {
 
 	// L3 hit: stream twice the L2 capacity through core 0, then reload an
 	// early line — it must come from the chip's victim L3.
-	probe("L3 hit", cfg.Lat.L3Hit, func() sim.Cycles {
+	probe("L3 hit", cfg.Lat.L3Hit, func() Cycles {
 		base := mem.Addr(1 << 20)
 		l2lines := cfg.L2.Size / cfg.L2.LineSize
 		for i := 0; i < 2*l2lines; i++ {
@@ -89,7 +88,7 @@ func LatencyTable() ([]LatencyRow, error) {
 	})
 
 	// Remote cache, same chip: core 1 holds the line, core 0 fetches.
-	probe("remote cache (same chip)", cfg.Lat.RemoteCacheSameChip, func() sim.Cycles {
+	probe("remote cache (same chip)", cfg.Lat.RemoteCacheSameChip, func() Cycles {
 		a := mem.Addr(8 << 20)
 		at += m.Access(1, a, false, at)
 		lat := m.Access(0, a, false, at)
@@ -98,7 +97,7 @@ func LatencyTable() ([]LatencyRow, error) {
 	})
 
 	// Remote cache, adjacent chip (1 hop).
-	probe("remote cache (1 hop)", 0, func() sim.Cycles {
+	probe("remote cache (1 hop)", 0, func() Cycles {
 		a := mem.Addr(9 << 20)
 		at += m.Access(4, a, false, at) // core 4 is chip 1
 		lat := m.Access(0, a, false, at)
@@ -107,7 +106,7 @@ func LatencyTable() ([]LatencyRow, error) {
 	})
 
 	// Remote cache, diagonal chip (2 hops).
-	probe("remote cache (2 hops)", 0, func() sim.Cycles {
+	probe("remote cache (2 hops)", 0, func() Cycles {
 		a := mem.Addr(10 << 20)
 		at += m.Access(12, a, false, at) // core 12 is chip 3
 		lat := m.Access(0, a, false, at)
@@ -119,14 +118,13 @@ func LatencyTable() ([]LatencyRow, error) {
 	// numbers ≡ chip give local vs most-distant banks. Probe far in the
 	// future so no controller queueing applies.
 	at += 1_000_000
-	probe("DRAM (local bank)", cfg.Lat.DRAMLocal, func() sim.Cycles {
-		a := mem.Addr(11<<20) + 0*lineSize // line % 4 == 0 → chip 0... recompute below
-		a = alignToHomeChip(m, a, 0)
+	probe("DRAM (local bank)", cfg.Lat.DRAMLocal, func() Cycles {
+		a := alignToHomeChip(m, mem.Addr(11<<20), 0)
 		lat := m.Access(0, a, false, at)
 		at += lat
 		return lat
 	})
-	probe("DRAM (most distant bank)", 336, func() sim.Cycles {
+	probe("DRAM (most distant bank)", 336, func() Cycles {
 		a := alignToHomeChip(m, mem.Addr(12<<20), 3)
 		lat := m.Access(0, a, false, at)
 		at += lat
@@ -180,17 +178,15 @@ func MigrationCost(trials int) (MigrationResult, error) {
 	if trials <= 0 {
 		trials = 64
 	}
-	cfg := topology.AMD16()
-	m, err := machine.New(cfg, 64<<20)
+	// The probe drives migration explicitly, so no scheduler is needed.
+	rt, err := New(WithTopology(AMD16), WithScheduler(Baseline))
 	if err != nil {
 		return MigrationResult{}, err
 	}
-	eng := sim.NewEngine()
-	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
 
 	measure := func(target int) float64 {
-		var total sim.Cycles
-		sys.Go("migrator", 0, func(t *exec.Thread) {
+		var total Cycles
+		rt.Go("migrator", 0, func(t *Thread) {
 			// Warm the context buffer and the path once.
 			t.MigrateTo(target)
 			t.ReturnHome()
@@ -201,7 +197,7 @@ func MigrationCost(trials int) (MigrationResult, error) {
 				total += t.Now() - start
 			}
 		})
-		eng.Run(0)
+		rt.Run()
 		return float64(total) / float64(2*trials)
 	}
 

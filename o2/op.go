@@ -1,0 +1,83 @@
+package o2
+
+import "fmt"
+
+// Op is a scoped operation handle, the façade over the paper's
+// ct_start/ct_end annotation pair. Begin may migrate the thread to the
+// core caching the object; End may migrate it onward. End is idempotent,
+// so the safe idiom is
+//
+//	op := t.Begin(obj)
+//	defer op.End()
+//
+// with an optional explicit op.End() on the fast path. Operations nest;
+// ending an outer operation while an inner one is still open panics, so an
+// unbalanced or crossed annotation pair cannot be expressed.
+type Op struct {
+	t     *Thread
+	depth int // position on the thread's operation stack, 1-based
+	ended bool
+}
+
+// Begin starts an operation on obj: the paper's ct_start. Under CoreTime
+// the thread may be running on a different core when Begin returns.
+func (t *Thread) Begin(obj *Object) *Op { return t.begin(obj, false) }
+
+// BeginRO starts an operation that promises not to write obj, letting the
+// read-only replication extension (§6.2) act on hot objects.
+func (t *Thread) BeginRO(obj *Object) *Op { return t.begin(obj, true) }
+
+// Begin starts an operation on obj by thread t; equivalent to t.Begin.
+// The thread must belong to this runtime.
+func (rt *Runtime) Begin(t *Thread, obj *Object) *Op {
+	rt.mustOwn(t)
+	return t.Begin(obj)
+}
+
+// BeginRO starts a read-only operation on obj by thread t; equivalent to
+// t.BeginRO. The thread must belong to this runtime.
+func (rt *Runtime) BeginRO(t *Thread, obj *Object) *Op {
+	rt.mustOwn(t)
+	return t.BeginRO(obj)
+}
+
+func (rt *Runtime) mustOwn(t *Thread) {
+	if t.rt != rt {
+		panic(fmt.Sprintf("o2: thread %q belongs to a different runtime", t.Name()))
+	}
+}
+
+func (t *Thread) begin(obj *Object, readOnly bool) *Op {
+	if obj == nil {
+		panic("o2: Begin on nil object")
+	}
+	if readOnly {
+		t.rt.annStartRO(t.t, obj)
+	} else {
+		t.rt.ann.OpStart(t.t, obj.obj.Base)
+	}
+	op := &Op{t: t, depth: len(t.ops) + 1}
+	t.ops = append(t.ops, op)
+	return op
+}
+
+// End closes the operation: the paper's ct_end. The first call ends the
+// operation; later calls are no-ops, so End composes with defer. Ending an
+// operation while one begun inside it is still open panics.
+func (op *Op) End() {
+	if op.ended {
+		return
+	}
+	t := op.t
+	if len(t.ops) != op.depth {
+		panic(fmt.Sprintf(
+			"o2: thread %q ending operation %d with %d inner operation(s) still open",
+			t.Name(), op.depth, len(t.ops)-op.depth))
+	}
+	op.ended = true
+	t.ops = t.ops[:len(t.ops)-1]
+	t.rt.ann.OpEnd(t.t)
+}
+
+// Ended reports whether End has run.
+func (op *Op) Ended() bool { return op.ended }
