@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	o2bench fig4a [-quick] [-seed N]    Figure 4(a): uniform popularity
-//	o2bench fig4b [-quick] [-seed N]    Figure 4(b): oscillating popularity
+//	o2bench fig4a [-quick] [-seed N] [-workers N] [-repeats N] [-json]
+//	                                    Figure 4(a): uniform popularity
+//	o2bench fig4b [-quick] [-seed N] [-workers N] [-repeats N] [-json]
+//	                                    Figure 4(b): oscillating popularity
 //	o2bench fig2 [-dirs N] [-threads N] Figure 2: cache contents maps
 //	o2bench latency                     §5 latency table
 //	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
@@ -14,13 +16,20 @@
 //	                                    migcost|hetero|paths|single|all
 //	o2bench all [-quick]                everything above
 //
-// All output goes to stdout as aligned text tables; simulation progress is
-// reported on stderr.
+// The fig4 sweeps run on the o2.Sweep engine: -workers bounds the worker
+// pool (default: all host CPUs), -repeats measures every grid cell that
+// many times with distinct derived seeds and reports mean±stddev, and
+// -json emits the machine-readable per-cell sweep results (schema pinned
+// by the golden test in this package) instead of the aligned table.
+//
+// All other output goes to stdout as aligned text tables; simulation
+// progress is reported on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/o2"
@@ -64,8 +73,10 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `o2bench — reproduce the paper's evaluation
 
-  o2bench fig4a [-quick] [-seed N]   Figure 4(a): uniform directory popularity
-  o2bench fig4b [-quick] [-seed N]   Figure 4(b): oscillating popularity
+  o2bench fig4a [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
+                                     Figure 4(a): uniform directory popularity
+  o2bench fig4b [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
+                                     Figure 4(b): oscillating popularity
   o2bench fig2 [-dirs N] [-entries N] [-threads N] [-seed N]
                                      Figure 2: cache-contents maps
   o2bench latency                    hardware latency table (§5)
@@ -75,44 +86,82 @@ func usage() {
 `)
 }
 
-func fig4Flags(args []string) (o2.Fig4Config, bool, error) {
+// fig4Format selects how runFig4 renders the sweep.
+type fig4Format int
+
+const (
+	fig4Table fig4Format = iota
+	fig4CSV
+	fig4JSON
+)
+
+func fig4Flags(args []string) (o2.Fig4Config, fig4Format, error) {
 	fs := flag.NewFlagSet("fig4", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sweep (fewer points, shorter windows)")
 	seed := fs.Uint64("seed", 1, "workload RNG seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-cell sweep results")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all host CPUs)")
+	repeats := fs.Int("repeats", 1, "measurements per grid cell (mean/stddev reported)")
 	if err := fs.Parse(args); err != nil {
-		return o2.Fig4Config{}, false, err
+		return o2.Fig4Config{}, fig4Table, err
 	}
 	cfg := o2.DefaultFig4Config()
 	if *quick {
 		cfg = o2.QuickFig4Config()
 	}
 	cfg.Params.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Repeats = *repeats
 	cfg.Progress = os.Stderr
-	return cfg, *csv, nil
+	format := fig4Table
+	switch {
+	case *jsonOut && *csv:
+		return o2.Fig4Config{}, fig4Table, fmt.Errorf("-json and -csv are mutually exclusive")
+	case *jsonOut:
+		format = fig4JSON
+	case *csv:
+		format = fig4CSV
+	}
+	return cfg, format, nil
+}
+
+// emitFig4 runs the Figure-4 sweep and renders it to w in the requested
+// format. Split from runFig4 so the golden test can pin the -json schema
+// on a reduced configuration.
+func emitFig4(w io.Writer, cfg o2.Fig4Config, uniform bool, format fig4Format) error {
+	title := "Figure 4(b): file system results, oscillated directory popularity"
+	prepare := o2.Fig4bSweep
+	if uniform {
+		title = "Figure 4(a): file system results, uniform directory popularity"
+		prepare = o2.Fig4aSweep
+	}
+	cfg, sweep := prepare(cfg)
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	if format == fig4JSON {
+		return res.WriteJSON(w)
+	}
+	rows, err := o2.Fig4Rows(cfg, res)
+	if err != nil {
+		return err
+	}
+	if format == fig4CSV {
+		o2.WriteFig4CSV(w, rows)
+		return nil
+	}
+	o2.WriteFig4Table(w, title, rows)
+	return nil
 }
 
 func runFig4(args []string, uniform bool) error {
-	cfg, csv, err := fig4Flags(args)
+	cfg, format, err := fig4Flags(args)
 	if err != nil {
 		return err
 	}
-	title := "Figure 4(b): file system results, oscillated directory popularity"
-	runner := o2.Fig4b
-	if uniform {
-		title = "Figure 4(a): file system results, uniform directory popularity"
-		runner = o2.Fig4a
-	}
-	rows, err := runner(cfg)
-	if err != nil {
-		return err
-	}
-	if csv {
-		o2.WriteFig4CSV(os.Stdout, rows)
-		return nil
-	}
-	o2.WriteFig4Table(os.Stdout, title, rows)
-	return nil
+	return emitFig4(os.Stdout, cfg, uniform, format)
 }
 
 func runFig2(args []string) error {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/o2"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenFig4Config is a reduced, fully deterministic Figure-4 sweep: small
+// machine, two grid points, two repeats. It exists to pin the -json output
+// schema, not to reproduce the paper's numbers.
+func goldenFig4Config() o2.Fig4Config {
+	p := o2.DefaultRunParams()
+	p.Threads = 4
+	p.Warmup = 200_000
+	p.Measure = 400_000
+	p.Seed = 7
+	return o2.Fig4Config{
+		Machine:       o2.Tiny8,
+		DirCounts:     []int{2, 6},
+		EntriesPerDir: 128,
+		Params:        p,
+		Repeats:       2,
+		Workers:       4,
+	}
+}
+
+// TestFig4JSONGolden pins the o2bench -json sweep schema: field names,
+// nesting, metric keys, and the simulation's deterministic values. If the
+// schema changes intentionally, regenerate with `go test ./cmd/o2bench
+// -run TestFig4JSONGolden -update` and review the diff.
+func TestFig4JSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitFig4(&buf, goldenFig4Config(), true, fig4JSON); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "fig4_tiny.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("o2bench -json output drifted from %s.\nGot:\n%s\nWant:\n%s\nIf intentional, rerun with -update and review.",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestFig4JSONWorkerInvariance reruns the golden sweep at -workers=1 and
+// checks the bytes match the golden file exactly: the JSON schema AND the
+// values must be independent of the worker count.
+func TestFig4JSONWorkerInvariance(t *testing.T) {
+	cfg := goldenFig4Config()
+	cfg.Workers = 1
+	var buf bytes.Buffer
+	if err := emitFig4(&buf, cfg, true, fig4JSON); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "fig4_tiny.json"))
+	if err != nil {
+		t.Skip("golden file missing; TestFig4JSONGolden generates it")
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("-workers=1 JSON differs from the golden (-workers=4) output")
+	}
+}
+
+// TestFig4TableSmoke checks the human-readable formats still render from
+// the same sweep path.
+func TestFig4TableSmoke(t *testing.T) {
+	cfg := goldenFig4Config()
+	var table, csv bytes.Buffer
+	if err := emitFig4(&table, cfg, true, fig4Table); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(table.Bytes(), []byte("without-CT")) || !bytes.Contains(table.Bytes(), []byte("±")) {
+		t.Errorf("table output missing headers or repeat stddev:\n%s", table.String())
+	}
+	if err := emitFig4(&csv, cfg, true, fig4CSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(csv.Bytes(), []byte("stddev_with_ct")) {
+		t.Errorf("csv header drifted:\n%s", csv.String())
+	}
+}

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -84,6 +86,136 @@ func TestThreadSchedulerIsInert(t *testing.T) {
 	}
 	if got := m.Counters().Snapshot(2).MigrationsIn; got != 0 {
 		t.Fatalf("baseline migrated %d times", got)
+	}
+}
+
+// TestBaselineTickOrdering pins how the baseline scheduler interleaves
+// threads, table-driven over thread placements: threads tick strictly in
+// spawn order at each instant (the engine's FIFO rule), whether they share
+// one core or are spread round-robin, and the order is identical run to
+// run.
+func TestBaselineTickOrdering(t *testing.T) {
+	cases := []struct {
+		name    string
+		threads int
+		cores   int
+		homes   []int // nil = RoundRobin(threads, cores)
+		ticks   int
+		yield   bool // Yield after each tick's compute
+		want    []string
+	}{
+		{
+			// Cooperative threads do not preempt: without Yield, the
+			// first thread on a shared core runs all its ticks before
+			// the second gets the core.
+			name:    "shared core without yield runs threads to completion",
+			threads: 2, cores: 4, homes: []int{0, 0}, ticks: 2,
+			want: []string{"w0", "w0", "w1", "w1"},
+		},
+		{
+			name:    "shared core with yield alternates in spawn order",
+			threads: 2, cores: 4, homes: []int{0, 0}, ticks: 2, yield: true,
+			want: []string{"w0", "w1", "w0", "w1"},
+		},
+		{
+			name:    "round-robin threads tick in spawn order each instant",
+			threads: 3, cores: 4, ticks: 2,
+			want: []string{"w0", "w1", "w2", "w0", "w1", "w2"},
+		},
+		{
+			name:    "more threads than cores still tick in spawn order",
+			threads: 4, cores: 2, ticks: 1,
+			want: []string{"w0", "w1", "w2", "w3"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() []string {
+				eng := sim.NewEngine()
+				m, err := machine.New(topology.Small(), 16<<20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys := exec.NewSystem(eng, m, exec.DefaultOptions())
+				homes := tc.homes
+				if homes == nil {
+					homes = RoundRobin(tc.threads, tc.cores)
+				}
+				var trace []string
+				for i := 0; i < tc.threads; i++ {
+					name := fmt.Sprintf("w%d", i)
+					sys.Go(name, homes[i], func(th *exec.Thread) {
+						for k := 0; k < tc.ticks; k++ {
+							trace = append(trace, th.Name())
+							th.Compute(100)
+							if tc.yield {
+								th.Yield()
+							}
+						}
+					})
+				}
+				eng.Run(0)
+				return trace
+			}
+			first := run()
+			if !reflect.DeepEqual(first, tc.want) {
+				t.Fatalf("tick order = %v, want %v", first, tc.want)
+			}
+			if second := run(); !reflect.DeepEqual(first, second) {
+				t.Errorf("tick order not reproducible: %v vs %v", first, second)
+			}
+		})
+	}
+}
+
+// TestAnnotatorPairsUnderBaseline is table-driven over operation shapes:
+// however operations nest or repeat, the inert baseline annotator must
+// leave time, core, and migration counters untouched.
+func TestAnnotatorPairsUnderBaseline(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(a Annotator, th *exec.Thread)
+	}{
+		{"single pair", func(a Annotator, th *exec.Thread) {
+			a.OpStart(th, 4096)
+			a.OpEnd(th)
+		}},
+		{"nested pairs", func(a Annotator, th *exec.Thread) {
+			a.OpStart(th, 4096)
+			a.OpStart(th, 8192)
+			a.OpEnd(th)
+			a.OpEnd(th)
+		}},
+		{"repeated pairs", func(a Annotator, th *exec.Thread) {
+			for i := 0; i < 4; i++ {
+				OpStartRO(ThreadScheduler{}, th, mem.Addr(4096*(i+1)))
+				a.OpEnd(th)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			m, err := machine.New(topology.Small(), 16<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := exec.NewSystem(eng, m, exec.DefaultOptions())
+			var ts ThreadScheduler
+			sys.Go("w", 1, func(th *exec.Thread) {
+				tc.body(ts, th)
+				if th.Core() != 1 {
+					t.Errorf("thread moved to core %d", th.Core())
+				}
+			})
+			eng.Run(0)
+			if eng.Now() != 0 {
+				t.Errorf("baseline annotations consumed %d cycles", eng.Now())
+			}
+			if got := m.Counters().Snapshot(1).MigrationsIn; got != 0 {
+				t.Errorf("baseline migrated %d times", got)
+			}
+		})
 	}
 }
 

@@ -16,6 +16,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/stats"
 )
 
 // Time is a point in simulated time, in cycles since the start of the run.
@@ -61,15 +63,38 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Time
 	seq     uint64
+	seed    uint64
 	events  eventHeap
 	procs   int // live (not yet finished) procs
 	running *Proc
 	stopped bool
 }
 
-// NewEngine returns an engine with time at zero and no pending events.
+// NewEngine returns an engine with time at zero, no pending events, and
+// seed zero.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// NewEngineSeeded returns an engine carrying the run's base seed.
+// Components that need randomness derive private generators from it (see
+// RNG) instead of sharing one source, so simulations on different engines —
+// including engines running concurrently on separate goroutines — never
+// share RNG state.
+func NewEngineSeeded(seed uint64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// Seed returns the engine's base seed (zero when constructed with
+// NewEngine).
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// RNG returns a fresh generator for the named stream, derived purely from
+// the engine seed and the stream number. Equal (seed, stream) pairs yield
+// identical sequences; distinct streams are decorrelated. The returned
+// generator is owned by the caller — the engine keeps no RNG state.
+func (e *Engine) RNG(stream uint64) *stats.RNG {
+	return stats.NewRNG(stats.DeriveSeed(e.seed, stream))
 }
 
 // Now returns the current simulated time.

@@ -91,6 +91,36 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64()*0xDA942042E4DD58B5 + 1)
 }
 
+// DeriveSeed deterministically derives a child seed from a base seed and a
+// sequence of strata (for example: cell index, repeat number). It folds each
+// stratum into the state with a SplitMix64 step, so the result depends only
+// on the values — not on which goroutine computes it or in what order cells
+// run. Concurrent simulations each derive their own seed and never share
+// generator state.
+func DeriveSeed(base uint64, strata ...uint64) uint64 {
+	h := base
+	for _, s := range strata {
+		h += 0x9E3779B97F4A7C15 // SplitMix64 increment
+		h ^= s
+		h = mix64(h)
+	}
+	if len(strata) == 0 {
+		h = mix64(h)
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014): a bijective
+// avalanche so nearby inputs yield decorrelated outputs.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
 // mul64 computes the 128-bit product of a and b, returning the high and low
 // 64-bit halves. (math/bits.Mul64 exists, but spelling it out keeps this
 // package dependency-free and documents the rejection-sampling math.)

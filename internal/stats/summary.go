@@ -66,6 +66,18 @@ func (s *Summary) String() string {
 		s.n, s.Mean(), s.Stddev(), s.min, s.max)
 }
 
+// Summarize returns a Summary over xs, added in slice order. Callers that
+// need reproducible aggregates (the sweep engine's repeat statistics) pass
+// observations in a canonical order — repeat order, not completion order —
+// so the floating-point accumulation is identical run to run.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
 // interpolation between closest ranks. It copies and sorts its input, so the
 // caller's slice is left untouched. It returns 0 for an empty slice.

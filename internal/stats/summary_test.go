@@ -6,6 +6,43 @@ import (
 	"testing/quick"
 )
 
+func TestSummarize(t *testing.T) {
+	cases := []struct {
+		name                string
+		xs                  []float64
+		n                   int64
+		mean, min, max, sd2 float64 // sd2 = variance
+	}{
+		{"empty", nil, 0, 0, 0, 0, 0},
+		{"single", []float64{5}, 1, 5, 5, 5, 0},
+		{"uniform 1..4", []float64{1, 2, 3, 4}, 4, 2.5, 1, 4, 5.0 / 3},
+		{"constant", []float64{7, 7, 7}, 3, 7, 7, 7, 0},
+		{"negative and positive", []float64{-2, 2}, 2, 0, -2, 2, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.xs)
+			if s.N() != tc.n || s.Mean() != tc.mean || s.Min() != tc.min || s.Max() != tc.max {
+				t.Errorf("Summarize(%v) = %v", tc.xs, s.String())
+			}
+			if v := s.Variance(); v < tc.sd2-1e-12 || v > tc.sd2+1e-12 {
+				t.Errorf("variance = %v, want %v", v, tc.sd2)
+			}
+		})
+	}
+}
+
+func TestSummarizeMatchesIncrementalAdd(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var inc Summary
+	for _, x := range xs {
+		inc.Add(x)
+	}
+	if got := Summarize(xs); got != inc {
+		t.Errorf("Summarize = %+v, incremental = %+v", got, inc)
+	}
+}
+
 func TestSummaryBasics(t *testing.T) {
 	var s Summary
 	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

@@ -9,7 +9,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -189,7 +188,7 @@ func RunPathLookup(env *PathEnv, ann sched.Annotator, p RunParams) PathResult {
 
 	counts := make([]uint64, p.Threads)
 	var migBase uint64
-	master := stats.NewRNG(p.Seed)
+	master := masterRNG(env.Eng, p)
 
 	for i := 0; i < p.Threads; i++ {
 		i := i

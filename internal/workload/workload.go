@@ -213,6 +213,51 @@ func DefaultRunParams() RunParams {
 	}
 }
 
+// WithDefaults returns p with unset fields replaced by their
+// DefaultRunParams values. A fully zero RunParams becomes exactly
+// DefaultRunParams(); a partially filled one keeps what the caller set and
+// fills the rest field by field, so "I only chose the thread count" does
+// not silently run a zero-length measurement. Warmup is left untouched —
+// zero warmup is a legitimate configuration (Fig. 2 measures the warmup
+// phase itself) — and a zero Seed is resolved later against the engine's
+// base seed (see RunDirLookup). Experiment.Run and the sweep engine share
+// this one code path, so the same cell measured either way gets identical
+// parameters.
+func (p RunParams) WithDefaults() RunParams {
+	if p == (RunParams{}) {
+		return DefaultRunParams()
+	}
+	d := DefaultRunParams()
+	if p.Threads == 0 {
+		p.Threads = d.Threads
+	}
+	if p.Measure == 0 {
+		p.Measure = d.Measure
+	}
+	if p.OscillatePeriod == 0 {
+		p.OscillatePeriod = d.OscillatePeriod
+	}
+	if p.OscillateDivisor == 0 {
+		p.OscillateDivisor = d.OscillateDivisor
+	}
+	if p.PerOpCompute == 0 {
+		p.PerOpCompute = d.PerOpCompute
+	}
+	return p
+}
+
+// masterRNG returns the generator a run's per-thread RNGs split from: the
+// explicit RunParams.Seed when set, otherwise a stream derived from the
+// engine's base seed (Engine.RNG), so runs seeded through the runtime
+// (o2.WithSeed) stay deterministic without every caller threading a seed
+// by hand.
+func masterRNG(eng *sim.Engine, p RunParams) *stats.RNG {
+	if p.Seed != 0 {
+		return stats.NewRNG(p.Seed)
+	}
+	return eng.RNG(uint64(p.Popularity) + 1)
+}
+
 // Result is one measured point.
 type Result struct {
 	Resolutions uint64   // lookups completed inside the measured window
@@ -248,7 +293,7 @@ func RunDirLookup(env *Env, ann sched.Annotator, p RunParams) Result {
 	counts := make([]uint64, p.Threads)
 	var migBase uint64
 	rngs := make([]*stats.RNG, p.Threads)
-	master := stats.NewRNG(p.Seed)
+	master := masterRNG(env.Eng, p)
 	for i := range rngs {
 		rngs[i] = master.Split()
 	}

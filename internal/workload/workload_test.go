@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/machine"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -177,5 +179,72 @@ func TestDirSpecTotalBytes(t *testing.T) {
 	spec := DirSpec{Dirs: 640, EntriesPerDir: 1000}
 	if got := spec.TotalBytes(); got != 640*32000 {
 		t.Fatalf("TotalBytes = %d, want %d", got, 640*32000)
+	}
+}
+
+func TestRunParamsWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   RunParams
+		want func(RunParams) bool
+	}{
+		{
+			"zero value becomes DefaultRunParams",
+			RunParams{},
+			func(p RunParams) bool { return p == DefaultRunParams() },
+		},
+		{
+			"partial params fill missing fields only",
+			RunParams{Threads: 4, Seed: 9},
+			func(p RunParams) bool {
+				d := DefaultRunParams()
+				return p.Threads == 4 && p.Seed == 9 &&
+					p.Measure == d.Measure && p.PerOpCompute == d.PerOpCompute
+			},
+		},
+		{
+			"explicit zero warmup is preserved",
+			RunParams{Threads: 8, Warmup: 0, Measure: 1000},
+			func(p RunParams) bool { return p.Warmup == 0 && p.Measure == 1000 },
+		},
+		{
+			"fully specified params pass through unchanged",
+			DefaultRunParams(),
+			func(p RunParams) bool { return p == DefaultRunParams() },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.in.WithDefaults(); !tc.want(got) {
+				t.Errorf("WithDefaults(%+v) = %+v", tc.in, got)
+			}
+		})
+	}
+}
+
+func TestSeedFallsBackToEngineSeed(t *testing.T) {
+	// With RunParams.Seed zero, the driver derives its RNG from the
+	// engine's base seed: different engine seeds give different runs,
+	// equal engine seeds identical ones.
+	run := func(engineSeed uint64) uint64 {
+		m, err := machine.New(topology.Small(), smallSpec().ImageBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngineSeeded(engineSeed)
+		env, err := BuildEnvOn(exec.NewSystem(eng, m, exec.DefaultOptions()), smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := smallParams()
+		p.Seed = 0
+		return RunDirLookup(env, sched.ThreadScheduler{}, p).Resolutions
+	}
+	a1, a2, b := run(1), run(1), run(2)
+	if a1 != a2 {
+		t.Errorf("equal engine seeds diverged: %d vs %d", a1, a2)
+	}
+	if a1 == b {
+		t.Errorf("different engine seeds gave identical runs (%d)", a1)
 	}
 }

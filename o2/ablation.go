@@ -41,6 +41,34 @@ func Ablations() []Ablation {
 	}
 }
 
+// configSweep runs one sweep cell per named configuration — in parallel,
+// each on its own fresh runtime — and returns the measured values in
+// configuration order. It is the thin bridge every ablation uses to get
+// the Sweep engine's worker pool.
+func configSweep(name string, labels []string, run func(i int) (float64, error)) ([]float64, error) {
+	out := make([]float64, len(labels))
+	vals := make([]AxisValue, len(labels))
+	for i, l := range labels {
+		vals[i] = AxisValue{Label: l}
+	}
+	_, err := Sweep{
+		Name: name,
+		Axes: []Axis{{Name: "config", Values: vals}},
+		Runner: func(c Cell) (Metrics, error) {
+			v, err := run(c.Coords[0])
+			if err != nil {
+				return nil, err
+			}
+			out[c.Coords[0]] = v // distinct index per cell, no race
+			return Metrics{"kops": v}, nil
+		},
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // objBench is a small non-filesystem environment for ablations that need
 // raw objects: a runtime with count objects of size bytes each.
 type objBench struct {
@@ -138,14 +166,12 @@ func AblationClustering() ([]AblationRow, error) {
 		return kops, nil
 	}
 
-	off, err := run(false)
+	kops, err := configSweep("clustering", []string{"off", "on"},
+		func(i int) (float64, error) { return run(i == 1) })
 	if err != nil {
 		return nil, err
 	}
-	on, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	off, on := kops[0], kops[1]
 	return []AblationRow{
 		{Config: "clustering off", KOps: off, Note: "partner object remote"},
 		{Config: "clustering on", KOps: on, Note: fmt.Sprintf("%.2fx", on/off)},
@@ -177,14 +203,12 @@ func AblationReplication() ([]AblationRow, error) {
 		return kops, nil
 	}
 
-	off, err := run(false)
+	kops, err := configSweep("replication", []string{"off", "on"},
+		func(i int) (float64, error) { return run(i == 1) })
 	if err != nil {
 		return nil, err
 	}
-	on, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	off, on := kops[0], kops[1]
 	return []AblationRow{
 		{Config: "replication off", KOps: off, Note: "all ops funnel to one core"},
 		{Config: "replication on", KOps: on, Note: fmt.Sprintf("one replica per chip, %.2fx", on/off)},
@@ -219,18 +243,19 @@ func AblationReplacement() ([]AblationRow, error) {
 		Options: []Option{WithDecayWindow(0), WithDRAMUnplaceFraction(0)},
 	}
 
-	ff, err := exp.Run(WithReplacement(FirstFit))
-	if err != nil {
-		return nil, err
-	}
-	fr, err := exp.Run(WithReplacement(Frequency))
+	policies := []Replacement{FirstFit, Frequency}
+	kres, err := configSweep("replacement", []string{"first-fit", "frequency"},
+		func(i int) (float64, error) {
+			res, err := exp.Run(WithReplacement(policies[i]))
+			return res.KResPerSec, err
+		})
 	if err != nil {
 		return nil, err
 	}
 	return []AblationRow{
-		{Config: "first-fit (paper base)", KOps: ff.KResPerSec, Note: "placement is first-come"},
-		{Config: "frequency replacement", KOps: fr.KResPerSec,
-			Note: fmt.Sprintf("hot objects win space, %.2fx", fr.KResPerSec/ff.KResPerSec)},
+		{Config: "first-fit (paper base)", KOps: kres[0], Note: "placement is first-come"},
+		{Config: "frequency replacement", KOps: kres[1],
+			Note: fmt.Sprintf("hot objects win space, %.2fx", kres[1]/kres[0])},
 	}, nil
 }
 
@@ -251,25 +276,32 @@ func AblationMigrationCost() ([]AblationRow, error) {
 		Params:  p,
 	}
 
-	// Baseline reference (no migrations at all).
-	base, err := exp.Run(WithScheduler(Baseline))
+	// One cell for the baseline reference (no migrations at all), then
+	// one per migration cost.
+	labels := []string{"baseline"}
+	for _, c := range costs {
+		labels = append(labels, fmt.Sprintf("%d", c))
+	}
+	kres, err := configSweep("migcost", labels, func(i int) (float64, error) {
+		if i == 0 {
+			res, err := exp.Run(WithScheduler(Baseline))
+			return res.KResPerSec, err
+		}
+		res, err := exp.Run(WithMigrationCost(costs[i-1]))
+		return res.KResPerSec, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	rows := []AblationRow{{Config: "thread scheduler (reference)", KOps: base.KResPerSec}}
-
-	for _, c := range costs {
-		res, err := exp.Run(WithMigrationCost(c))
-		if err != nil {
-			return nil, err
-		}
+	rows := []AblationRow{{Config: "thread scheduler (reference)", KOps: kres[0]}}
+	for i, c := range costs {
 		note := ""
 		if c == 0 {
 			note = "≈ hardware active messages"
 		}
 		rows = append(rows, AblationRow{
 			Config: fmt.Sprintf("coretime, migr CPU cost %d", c),
-			KOps:   res.KResPerSec,
+			KOps:   kres[i+1],
 			Note:   note,
 		})
 	}
@@ -283,39 +315,47 @@ func AblationMigrationCost() ([]AblationRow, error) {
 // thread or operation uses two objects simultaneously then it might be
 // best to place both objects in the same cache").
 func AblationPathClustering() ([]AblationRow, error) {
-	spec := PathSpec{TopDirs: 4, SubsPerTop: 6, FilesPerSub: 128}
 	p := DefaultRunParams()
 	p.Threads = 8
 	p.Warmup = ablWarmup
 	p.Measure = ablMeasure
 
-	run := func(opts ...Option) (PathResult, error) {
-		rt, err := New(append([]Option{WithTopology(Tiny8)}, opts...)...)
-		if err != nil {
-			return PathResult{}, err
-		}
-		pt, err := rt.NewPathTree(spec)
-		if err != nil {
-			return PathResult{}, err
-		}
-		pt.ClusterByTop()
-		return pt.Run(p), nil
+	// Subdirectory scans are small, hence the lower placement threshold
+	// on the CoreTime configurations.
+	configs := [][]Option{
+		{WithScheduler(Baseline)},
+		{WithMissThreshold(4), WithClustering(false)},
+		{WithMissThreshold(4), WithClustering(true)},
 	}
-
-	// Baseline reference.
-	base, err := run(WithScheduler(Baseline))
-	if err != nil {
+	results := make([]PathResult, len(configs))
+	if _, err := (Sweep{
+		Name: "paths",
+		Base: Cell{
+			Machine: Tiny8,
+			Paths:   PathSpec{TopDirs: 4, SubsPerTop: 6, FilesPerSub: 128},
+			Params:  p,
+		},
+		Axes: []Axis{{Name: "config", Values: []AxisValue{
+			{Label: "baseline"}, {Label: "flat"}, {Label: "clustered"},
+		}}},
+		Runner: func(c Cell) (Metrics, error) {
+			rt, err := New(append([]Option{WithTopology(c.Machine)}, configs[c.Coords[0]]...)...)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := rt.NewPathTree(c.Paths)
+			if err != nil {
+				return nil, err
+			}
+			pt.ClusterByTop()
+			res := pt.Run(c.Params)
+			results[c.Coords[0]] = res // distinct index per cell, no race
+			return Metrics{"kres_per_sec": res.KResPerSec, "migrations": float64(res.Migrations)}, nil
+		},
+	}).Run(); err != nil {
 		return nil, err
 	}
-	// Subdirectory scans are small, hence the lower placement threshold.
-	flat, err := run(WithMissThreshold(4), WithClustering(false))
-	if err != nil {
-		return nil, err
-	}
-	clustered, err := run(WithMissThreshold(4), WithClustering(true))
-	if err != nil {
-		return nil, err
-	}
+	base, flat, clustered := results[0], results[1], results[2]
 	return []AblationRow{
 		{Config: "thread scheduler (reference)", KOps: base.KResPerSec},
 		{Config: "coretime, clustering off", KOps: flat.KResPerSec,
@@ -357,14 +397,13 @@ func AblationSingleThread() ([]AblationRow, error) {
 		})
 		return kops, nil
 	}
-	base, err := run(Baseline)
+	scheds := []Scheduler{Baseline, CoreTime}
+	kops, err := configSweep("single", []string{"pinned", "coretime"},
+		func(i int) (float64, error) { return run(scheds[i]) })
 	if err != nil {
 		return nil, err
 	}
-	ct, err := run(CoreTime)
-	if err != nil {
-		return nil, err
-	}
+	base, ct := kops[0], kops[1]
 	return []AblationRow{
 		{Config: "single thread, pinned", KOps: base,
 			Note: "working set ≫ one core's caches"},
@@ -389,15 +428,20 @@ func AblationHeterogeneous() ([]AblationRow, error) {
 		Tree:    DirSpec{Dirs: 8, EntriesPerDir: 512},
 		Params:  p,
 	}
-	base, ct, err := exp.Compare()
+	scheds := []Scheduler{Baseline, CoreTime}
+	kres, err := configSweep("hetero", []string{"thread-scheduler", "coretime"},
+		func(i int) (float64, error) {
+			res, err := exp.Run(WithScheduler(scheds[i]))
+			return res.KResPerSec, err
+		})
 	if err != nil {
 		return nil, err
 	}
 
 	return []AblationRow{
-		{Config: "hetero, thread scheduler", KOps: base.KResPerSec},
-		{Config: "hetero, coretime", KOps: ct.KResPerSec,
+		{Config: "hetero, thread scheduler", KOps: kres[0]},
+		{Config: "hetero, coretime", KOps: kres[1],
 			Note: fmt.Sprintf("%.2fx; packer is speed-unaware (open problem per §6.1)",
-				ct.KResPerSec/base.KResPerSec)},
+				kres[1]/kres[0])},
 	}, nil
 }

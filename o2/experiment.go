@@ -26,19 +26,29 @@ type Experiment struct {
 	Options []Option
 }
 
-// Run builds a fresh runtime from the experiment's options plus opts
-// (later options win), builds the tree, and measures one run.
-func (e Experiment) Run(opts ...Option) (Result, error) {
+// resolve returns the experiment's effective machine and parameters: the
+// zero Topology becomes AMD16 and zero RunParams fields are filled from
+// DefaultRunParams field by field (RunParams.WithDefaults). The sweep
+// engine runs its cells through Run, so Experiment.Compare and a Sweep
+// measuring the same cell resolve identically by construction.
+func (e Experiment) resolve() (Topology, RunParams, error) {
 	machine := e.Machine
 	if machine.cfg.Chips == 0 { // zero value: default to the paper's machine
 		machine = AMD16
 	}
-	params := e.Params
-	if params == (RunParams{}) {
-		params = DefaultRunParams()
-	}
+	params := e.Params.WithDefaults()
 	if params.Threads <= 0 {
-		return Result{}, fmt.Errorf("o2: Experiment.Params.Threads must be positive, got %d", params.Threads)
+		return Topology{}, RunParams{}, fmt.Errorf("o2: Experiment.Params.Threads must be positive, got %d", params.Threads)
+	}
+	return machine, params, nil
+}
+
+// Run builds a fresh runtime from the experiment's options plus opts
+// (later options win), builds the tree, and measures one run.
+func (e Experiment) Run(opts ...Option) (Result, error) {
+	machine, params, err := e.resolve()
+	if err != nil {
+		return Result{}, err
 	}
 	all := append([]Option{WithTopology(machine)}, e.Options...)
 	all = append(all, opts...)

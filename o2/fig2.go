@@ -44,6 +44,9 @@ type Fig2Config struct {
 	Threads       int
 	Warmup        uint64
 	Seed          uint64
+	// Workers bounds the sweep pool running the two schedulers; 0 means
+	// runtime.NumCPU().
+	Workers int
 }
 
 // DefaultFig2Config mirrors the paper's 20-directory illustration on the
@@ -65,17 +68,33 @@ func DefaultFig2Config() Fig2Config {
 
 // Fig2 runs the directory workload under both schedulers and snapshots
 // cache residency after the warmup, returning (thread-scheduler map,
-// O2-scheduler map).
+// O2-scheduler map). The two schedulers run as a two-cell sweep, so they
+// execute in parallel; both use cfg.Seed, keeping the maps identical to a
+// serial run.
 func Fig2(cfg Fig2Config) (CacheMap, CacheMap, error) {
-	base, err := fig2One(cfg, Baseline)
+	maps := make([]CacheMap, 2)
+	_, err := Sweep{
+		Name:    "fig2",
+		Axes:    []Axis{SchedulerAxis(Baseline, CoreTime)},
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+		Runner: func(c Cell) (Metrics, error) {
+			cm, err := fig2One(cfg, c.Scheduler)
+			if err != nil {
+				return nil, err
+			}
+			maps[c.Coords[0]] = cm // distinct index per cell, no race
+			return Metrics{
+				"duplication":  cm.Duplication,
+				"on_chip_dirs": float64(cm.DistinctOnChip),
+				"off_chip":     float64(cm.OffChip),
+			}, nil
+		},
+	}.Run()
 	if err != nil {
 		return CacheMap{}, CacheMap{}, err
 	}
-	o2map, err := fig2One(cfg, CoreTime)
-	if err != nil {
-		return CacheMap{}, CacheMap{}, err
-	}
-	return base, o2map, nil
+	return maps[0], maps[1], nil
 }
 
 func fig2One(cfg Fig2Config, scheduler Scheduler) (CacheMap, error) {

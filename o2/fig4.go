@@ -37,6 +37,11 @@ type Fig4Config struct {
 	// CoreTime holds extra options applied to the CoreTime runtime at
 	// each point.
 	CoreTime []Option
+	// Repeats measures every point that many times with distinct derived
+	// seeds and reports mean/stddev (default 1).
+	Repeats int
+	// Workers bounds the sweep's worker pool; 0 means runtime.NumCPU().
+	Workers int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
 }
@@ -66,20 +71,24 @@ func QuickFig4Config() Fig4Config {
 }
 
 // Fig4Row is one x-axis point of Fig. 4: throughput with and without
-// CoreTime at a given total data size.
+// CoreTime at a given total data size. With Repeats > 1 the KRes fields
+// are means over the repeats and the Stddev fields their sample standard
+// deviations (zero for a single repeat).
 type Fig4Row struct {
 	Dirs       int
 	DataKB     float64
 	BaseKRes   float64 // thousands of resolutions/sec, thread scheduler
 	CTKRes     float64 // thousands of resolutions/sec, CoreTime
+	BaseStddev float64
+	CTStddev   float64
 	Speedup    float64
-	Migrations uint64 // CoreTime migrations in the measured window
+	Migrations uint64 // mean CoreTime migrations in the measured window
 }
 
 // Fig4a regenerates Figure 4(a): uniform directory popularity.
 func Fig4a(cfg Fig4Config) ([]Fig4Row, error) {
-	cfg.Params.Popularity = Uniform
-	return fig4(cfg)
+	cfg, sweep := Fig4aSweep(cfg)
+	return fig4(cfg, sweep)
 }
 
 // Fig4b regenerates Figure 4(b): the number of directories accessed
@@ -88,6 +97,22 @@ func Fig4a(cfg Fig4Config) ([]Fig4Row, error) {
 // follow the phase changes (the experiment exists to "demonstrate the
 // ability of CoreTime to rebalance objects", §5).
 func Fig4b(cfg Fig4Config) ([]Fig4Row, error) {
+	cfg, sweep := Fig4bSweep(cfg)
+	return fig4(cfg, sweep)
+}
+
+// Fig4aSweep resolves cfg for Figure 4(a) and returns it with the Sweep
+// that measures it. Callers that want per-cell repeat statistics (cmd/
+// o2bench -json) run the sweep themselves; Fig4a folds it into rows.
+func Fig4aSweep(cfg Fig4Config) (Fig4Config, Sweep) {
+	cfg.Params.Popularity = Uniform
+	return cfg, fig4Sweep(cfg)
+}
+
+// Fig4bSweep resolves cfg for Figure 4(b) — oscillating popularity with
+// the monitor cadence tied to the oscillation period — and returns it with
+// the Sweep that measures it.
+func Fig4bSweep(cfg Fig4Config) (Fig4Config, Sweep) {
 	cfg.Params.Popularity = Oscillating
 	if cfg.Params.OscillatePeriod == 0 {
 		cfg.Params.OscillatePeriod = 2_000_000
@@ -101,14 +126,16 @@ func Fig4b(cfg Fig4Config) ([]Fig4Row, error) {
 	if cfg.Decay == 0 {
 		cfg.Decay = 2 * cfg.Params.OscillatePeriod
 	}
-	return fig4(cfg)
+	return cfg, fig4Sweep(cfg)
 }
 
-func fig4(cfg Fig4Config) ([]Fig4Row, error) {
+// fig4Sweep builds the Sweep behind a Fig. 4 run: a dirs × scheduler grid
+// over the standard directory-lookup runner.
+func fig4Sweep(cfg Fig4Config) Sweep {
 	if cfg.EntriesPerDir == 0 {
 		cfg.EntriesPerDir = 1000
 	}
-	ctOpts := []Option{WithScheduler(CoreTime)}
+	var ctOpts []Option
 	if cfg.Rebalance != 0 {
 		ctOpts = append(ctOpts, WithRebalanceInterval(cfg.Rebalance))
 	}
@@ -117,45 +144,93 @@ func fig4(cfg Fig4Config) ([]Fig4Row, error) {
 	}
 	ctOpts = append(ctOpts, cfg.CoreTime...)
 
+	name := "fig4a"
+	if cfg.Params.Popularity == Oscillating {
+		name = "fig4b"
+	}
+	return Sweep{
+		Name: name,
+		Base: Cell{Machine: cfg.Machine, Params: cfg.Params},
+		Axes: []Axis{
+			DirCountAxis(cfg.EntriesPerDir, cfg.DirCounts...),
+			{Name: "scheduler", Values: []AxisValue{
+				{Label: Baseline.String(), Apply: func(c *Cell) { c.Scheduler = Baseline }},
+				{Label: CoreTime.String(), Apply: func(c *Cell) {
+					c.Scheduler = CoreTime
+					c.Options = append(c.Options, ctOpts...)
+				}},
+			}},
+		},
+		Repeats:  cfg.Repeats,
+		Workers:  cfg.Workers,
+		Seed:     cfg.Params.Seed,
+		Runner:   DirLookupCell,
+		Progress: cfg.Progress,
+	}
+}
+
+// Fig4Rows folds a completed Fig4Sweep result into the figure's rows, one
+// per directory count, pairing the baseline and CoreTime cells.
+func Fig4Rows(cfg Fig4Config, res *SweepResult) ([]Fig4Row, error) {
+	if cfg.EntriesPerDir == 0 {
+		cfg.EntriesPerDir = 1000
+	}
 	rows := make([]Fig4Row, 0, len(cfg.DirCounts))
 	for _, dirs := range cfg.DirCounts {
-		exp := Experiment{
-			Machine: cfg.Machine,
-			Tree:    DirSpec{Dirs: dirs, EntriesPerDir: cfg.EntriesPerDir},
-			Params:  cfg.Params,
+		label := fmt.Sprintf("%d", dirs)
+		base := res.Cell(label, Baseline.String())
+		ct := res.Cell(label, CoreTime.String())
+		if base == nil || ct == nil {
+			return nil, fmt.Errorf("o2: sweep result missing cells at %d dirs", dirs)
 		}
-		base, err := exp.Run(WithScheduler(Baseline))
-		if err != nil {
-			return nil, fmt.Errorf("o2: baseline at %d dirs: %w", dirs, err)
-		}
-		ct, err := exp.Run(ctOpts...)
-		if err != nil {
-			return nil, fmt.Errorf("o2: coretime at %d dirs: %w", dirs, err)
-		}
-
+		spec := DirSpec{Dirs: dirs, EntriesPerDir: cfg.EntriesPerDir}
 		row := Fig4Row{
 			Dirs:       dirs,
-			DataKB:     float64(exp.Tree.TotalBytes()) / 1024,
-			BaseKRes:   base.KResPerSec,
-			CTKRes:     ct.KResPerSec,
-			Migrations: ct.Migrations,
+			DataKB:     float64(spec.TotalBytes()) / 1024,
+			BaseKRes:   base.Mean("kres_per_sec"),
+			CTKRes:     ct.Mean("kres_per_sec"),
+			BaseStddev: base.Stddev("kres_per_sec"),
+			CTStddev:   ct.Stddev("kres_per_sec"),
+			Migrations: uint64(ct.Mean("migrations")),
 		}
-		if base.KResPerSec > 0 {
-			row.Speedup = ct.KResPerSec / base.KResPerSec
+		if row.BaseKRes > 0 {
+			row.Speedup = row.CTKRes / row.BaseKRes
 		}
 		rows = append(rows, row)
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "%8.0f KB  base %8.0f  coretime %8.0f  (%.2fx)\n",
-				row.DataKB, row.BaseKRes, row.CTKRes, row.Speedup)
-		}
 	}
 	return rows, nil
 }
 
+func fig4(cfg Fig4Config, sweep Sweep) ([]Fig4Row, error) {
+	res, err := sweep.Run()
+	if err != nil {
+		return nil, err
+	}
+	return Fig4Rows(cfg, res)
+}
+
 // WriteFig4Table prints rows in the paper's axes (total data size in KB vs
-// thousands of resolutions per second).
+// thousands of resolutions per second). Rows carrying repeat statistics
+// print as mean±stddev.
 func WriteFig4Table(w io.Writer, title string, rows []Fig4Row) {
+	withStats := false
+	for _, r := range rows {
+		if r.BaseStddev != 0 || r.CTStddev != 0 {
+			withStats = true
+			break
+		}
+	}
 	fmt.Fprintf(w, "# %s\n", title)
+	if withStats {
+		fmt.Fprintf(w, "%10s %8s %20s %20s %9s %12s\n",
+			"data(KB)", "dirs", "without-CT", "with-CT", "speedup", "migrations")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%10.0f %8d %13.0f ±%5.0f %13.0f ±%5.0f %8.2fx %12d\n",
+				r.DataKB, r.Dirs, r.BaseKRes, r.BaseStddev, r.CTKRes, r.CTStddev,
+				r.Speedup, r.Migrations)
+		}
+		return
+	}
 	fmt.Fprintf(w, "%10s %8s %14s %14s %9s %12s\n",
 		"data(KB)", "dirs", "without-CT", "with-CT", "speedup", "migrations")
 	for _, r := range rows {
@@ -167,10 +242,10 @@ func WriteFig4Table(w io.Writer, title string, rows []Fig4Row) {
 // WriteFig4CSV emits the same series in CSV, ready for gnuplot/matplotlib
 // against the paper's axes.
 func WriteFig4CSV(w io.Writer, rows []Fig4Row) {
-	fmt.Fprintln(w, "data_kb,dirs,kres_without_ct,kres_with_ct,speedup,migrations")
+	fmt.Fprintln(w, "data_kb,dirs,kres_without_ct,kres_with_ct,stddev_without_ct,stddev_with_ct,speedup,migrations")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%.2f,%d,%.1f,%.1f,%.4f,%d\n",
-			r.DataKB, r.Dirs, r.BaseKRes, r.CTKRes, r.Speedup, r.Migrations)
+		fmt.Fprintf(w, "%.2f,%d,%.1f,%.1f,%.1f,%.1f,%.4f,%d\n",
+			r.DataKB, r.Dirs, r.BaseKRes, r.CTKRes, r.BaseStddev, r.CTStddev, r.Speedup, r.Migrations)
 	}
 }
 

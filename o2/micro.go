@@ -173,18 +173,19 @@ type MigrationResult struct {
 
 // MigrationCost measures the round-trip thread migration cost on the AMD16
 // model: a thread repeatedly migrates to a target core and back, and the
-// per-migration cost is averaged.
+// per-migration cost is averaged. The two probes (same-chip, diagonal
+// cross-chip) run as a two-cell sweep, each on a fresh machine.
 func MigrationCost(trials int) (MigrationResult, error) {
 	if trials <= 0 {
 		trials = 64
 	}
-	// The probe drives migration explicitly, so no scheduler is needed.
-	rt, err := New(WithTopology(AMD16), WithScheduler(Baseline))
-	if err != nil {
-		return MigrationResult{}, err
-	}
-
-	measure := func(target int) float64 {
+	measure := func(target int) (float64, error) {
+		// The probe drives migration explicitly, so no scheduler is
+		// needed.
+		rt, err := New(WithTopology(AMD16), WithScheduler(Baseline))
+		if err != nil {
+			return 0, err
+		}
 		var total Cycles
 		rt.Go("migrator", 0, func(t *Thread) {
 			// Warm the context buffer and the path once.
@@ -198,11 +199,16 @@ func MigrationCost(trials int) (MigrationResult, error) {
 			}
 		})
 		rt.Run()
-		return float64(total) / float64(2*trials)
+		return float64(total) / float64(2*trials), nil
 	}
 
-	same := measure(1)   // same chip
-	cross := measure(12) // diagonal chip
+	targets := []int{1, 12} // same chip; diagonal chip (2 hops)
+	costs, err := configSweep("migration", []string{"same-chip", "cross-chip"},
+		func(i int) (float64, error) { return measure(targets[i]) })
+	if err != nil {
+		return MigrationResult{}, err
+	}
+	same, cross := costs[0], costs[1]
 	return MigrationResult{
 		Trials:      trials,
 		MeanCycles:  (same + cross) / 2,

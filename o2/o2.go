@@ -26,11 +26,14 @@
 // impossible by construction.
 //
 // The package also carries the evaluation layer: Experiment compares
-// schedulers on the directory-lookup workload in a few lines, and the
+// schedulers on the directory-lookup workload in a few lines, Sweep
+// executes declarative parameter grids on a bounded worker pool with
+// deterministic per-cell seeds and repeat statistics, and the
 // Fig4a/Fig4b/Fig2/LatencyTable/MigrationCost/Ablations entry points
-// regenerate every figure and table of the paper (cmd/o2bench is a thin
-// wrapper). Everything under internal/ is free to evolve behind this
-// façade; new scenarios should build on this package alone.
+// regenerate every figure and table of the paper on that engine
+// (cmd/o2bench is a thin wrapper). Everything under internal/ is free to
+// evolve behind this façade; new scenarios should build on this package
+// alone.
 package o2
 
 import (

@@ -13,6 +13,7 @@ import (
 type settings struct {
 	topo     Topology
 	sched    Scheduler
+	seed     uint64
 	memBytes int // machine memory image size; 0 = auto
 	exec     exec.Options
 	ct       core.Options
@@ -53,6 +54,15 @@ func WithScheduler(sched Scheduler) Option {
 		}
 		s.sched = sched
 	}
+}
+
+// WithSeed sets the runtime's base RNG seed (default 0). Every random
+// stream inside the simulation derives deterministically from this seed, so
+// equal seeds give bit-identical runs and concurrent runtimes never share
+// generator state. Workload drivers whose RunParams.Seed is zero fall back
+// to streams derived from it.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.seed = seed }
 }
 
 // WithMemory sets the machine's memory image size in bytes. The default

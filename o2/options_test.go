@@ -123,16 +123,31 @@ func TestWithMemoryGrowsForTree(t *testing.T) {
 	}
 }
 
-func TestExperimentPartialParamsRejected(t *testing.T) {
-	// A partially-filled Params (non-zero, but no Threads) must come back
-	// as an error, not a panic from deep inside the workload driver.
+func TestExperimentPartialParamsDefaulted(t *testing.T) {
+	// A partially-filled Params must have its zero fields defaulted field
+	// by field (RunParams.WithDefaults) — the same path the sweep engine
+	// uses — not run a zero-length measurement or panic deep inside the
+	// workload driver.
 	exp := Experiment{
 		Machine: Small4,
 		Tree:    DirSpec{Dirs: 2, EntriesPerDir: 64},
-		Params:  RunParams{Seed: 2},
+		Params:  RunParams{Seed: 2, Warmup: 100_000, Measure: 200_000},
 	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatalf("Run with partial params: %v", err)
+	}
+	if res.Resolutions == 0 {
+		t.Error("partial params produced a zero-length measurement")
+	}
+	if got, want := len(res.PerThread), DefaultRunParams().Threads; got != want {
+		t.Errorf("defaulted thread count = %d, want %d", got, want)
+	}
+
+	// Explicitly invalid values still come back as errors.
+	exp.Params.Threads = -1
 	if _, err := exp.Run(); err == nil || !strings.Contains(err.Error(), "Threads") {
-		t.Fatalf("Run with zero Threads: err = %v, want Threads validation error", err)
+		t.Fatalf("Run with negative Threads: err = %v, want Threads validation error", err)
 	}
 }
 

@@ -76,7 +76,7 @@ func (rt *Runtime) ensure(minImage int) error {
 	if err != nil {
 		return err
 	}
-	rt.eng = sim.NewEngine()
+	rt.eng = sim.NewEngineSeeded(rt.set.seed)
 	rt.mach = m
 	rt.sys = exec.NewSystem(rt.eng, m, rt.set.exec)
 	if rt.set.sched == CoreTime {
@@ -111,6 +111,9 @@ func (rt *Runtime) SchedulerName() string { return rt.set.sched.String() }
 
 // Topology returns the machine description the runtime models.
 func (rt *Runtime) Topology() Topology { return rt.set.topo }
+
+// Seed returns the runtime's base RNG seed (see WithSeed).
+func (rt *Runtime) Seed() uint64 { return rt.set.seed }
 
 // NumCores returns the machine's core count.
 func (rt *Runtime) NumCores() int { return rt.set.topo.NumCores() }
