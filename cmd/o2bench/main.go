@@ -5,6 +5,8 @@
 //
 // Usage:
 //
+//	o2bench [-cpuprofile F] [-memprofile F] COMMAND [flags]
+//
 //	o2bench fig4a [-quick] [-seed N] [-workers N] [-repeats N] [-json]
 //	                                    Figure 4(a): uniform popularity
 //	o2bench fig4b [-quick] [-seed N] [-workers N] [-repeats N] [-json]
@@ -22,6 +24,10 @@
 // -json emits the machine-readable per-cell sweep results (schema pinned
 // by the golden test in this package) instead of the aligned table.
 //
+// The global -cpuprofile and -memprofile flags (before the command) write
+// pprof profiles covering the whole run; see DESIGN.md, "Profiling the
+// simulator".
+//
 // All other output goes to stdout as aligned text tables; simulation
 // progress is reported on stderr.
 package main
@@ -31,38 +37,53 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/o2"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("o2bench", flag.ExitOnError)
+	global.Usage = usage
+	cpuprofile := global.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := global.String("memprofile", "", "write a heap profile to this file on exit")
+	// Parse stops at the first non-flag argument: the command.
+	if err := global.Parse(os.Args[1:]); err != nil || global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "fig4a":
-		err = runFig4(args, true)
-	case "fig4b":
-		err = runFig4(args, false)
-	case "fig2", "cachemap":
-		err = runFig2(args)
-	case "latency":
-		err = runLatency()
-	case "migration":
-		err = runMigration(args)
-	case "ablation":
-		err = runAblation(args)
-	case "all":
-		err = runAll(args)
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "o2bench: unknown command %q\n", cmd)
-		usage()
-		os.Exit(2)
+	cmd, args := global.Arg(0), global.Args()[1:]
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "o2bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "o2bench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(cmd, args)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "o2bench: %v\n", ferr)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final live heap
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintf(os.Stderr, "o2bench: writing heap profile: %v\n", werr)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "o2bench: %v\n", err)
@@ -70,8 +91,38 @@ func main() {
 	}
 }
 
+// run dispatches one subcommand; profiling brackets it in main.
+func run(cmd string, args []string) error {
+	switch cmd {
+	case "fig4a":
+		return runFig4(args, true)
+	case "fig4b":
+		return runFig4(args, false)
+	case "fig2", "cachemap":
+		return runFig2(args)
+	case "latency":
+		return runLatency()
+	case "migration":
+		return runMigration(args)
+	case "ablation":
+		return runAblation(args)
+	case "all":
+		return runAll(args)
+	case "help":
+		usage()
+		return nil
+	default:
+		fmt.Fprintf(os.Stderr, "o2bench: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+		return nil
+	}
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, `o2bench — reproduce the paper's evaluation
+
+  o2bench [-cpuprofile FILE] [-memprofile FILE] COMMAND [flags]
 
   o2bench fig4a [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
                                      Figure 4(a): uniform directory popularity

@@ -25,13 +25,30 @@ func LineOf(a mem.Addr, lineSize int) Line {
 	return Line(uint64(a) / uint64(lineSize))
 }
 
-// entry is one resident line. Dirty marks lines that must conceptually be
-// written back on eviction (the model charges no writeback latency, but the
-// flag is maintained so the coherence layer can distinguish owners).
-type entry struct {
-	line  Line
-	dirty bool
+// entry is one resident line, packed as line<<1 | dirty so an
+// associativity-wide set scan — the simulator's innermost loop — touches
+// one machine word per way and compares without unpacking. Dirty marks
+// lines that must conceptually be written back on eviction (the model
+// charges no writeback latency, but the flag is maintained so the
+// coherence layer can distinguish owners).
+type entry uint64
+
+const entryDirty entry = 1
+
+func packEntry(l Line, dirty bool) entry {
+	e := entry(l) << 1
+	if dirty {
+		e |= entryDirty
+	}
+	return e
 }
+
+func (e entry) line() Line  { return Line(e >> 1) }
+func (e entry) dirty() bool { return e&entryDirty != 0 }
+
+// key returns the comparison form of a line: an entry matches l iff
+// e&^entryDirty == key(l).
+func key(l Line) entry { return entry(l) << 1 }
 
 // Cache is a set-associative cache with true-LRU replacement within each
 // set. Within a set, entries are kept in recency order: index 0 is the
@@ -59,6 +76,8 @@ const pageLines = 64
 
 // New builds an empty cache with the given geometry. It panics on invalid
 // geometry; callers validate configs at startup via topology.Config.Validate.
+// All sets share one backing slab sized to the full capacity, so inserts
+// never allocate and a whole set scan stays within one contiguous region.
 func New(geom topology.CacheGeom) *Cache {
 	if err := geom.Validate("cache"); err != nil {
 		panic(err)
@@ -69,6 +88,10 @@ func New(geom topology.CacheGeom) *Cache {
 		sets:   make([][]entry, nsets),
 		mask:   uint64(nsets - 1),
 		hashed: nsets > pageLines,
+	}
+	slab := make([]entry, nsets*geom.Assoc)
+	for i := range c.sets {
+		c.sets[i] = slab[i*geom.Assoc : i*geom.Assoc : (i+1)*geom.Assoc]
 	}
 	return c
 }
@@ -96,14 +119,20 @@ func (c *Cache) setOf(l Line) int {
 }
 
 // Lookup reports whether line is resident and, if so, marks it most
-// recently used.
+// recently used. The scan runs MRU-first (from the back of the recency
+// order): on the simulator's hot path the looked-up line is almost always
+// the most recently used one, which makes the common hit a single compare
+// and no reordering.
 func (c *Cache) Lookup(l Line) bool {
 	set := c.sets[c.setOf(l)]
-	for i := range set {
-		if set[i].line == l {
-			e := set[i]
-			copy(set[i:], set[i+1:])
-			set[len(set)-1] = e
+	k := key(l)
+	for i := len(set) - 1; i >= 0; i-- {
+		if set[i]&^entryDirty == k {
+			if i < len(set)-1 {
+				e := set[i]
+				copy(set[i:], set[i+1:])
+				set[len(set)-1] = e
+			}
 			return true
 		}
 	}
@@ -112,8 +141,10 @@ func (c *Cache) Lookup(l Line) bool {
 
 // Contains reports residency without disturbing LRU order.
 func (c *Cache) Contains(l Line) bool {
-	for _, e := range c.sets[c.setOf(l)] {
-		if e.line == l {
+	set := c.sets[c.setOf(l)]
+	k := key(l)
+	for i := len(set) - 1; i >= 0; i-- {
+		if set[i]&^entryDirty == k {
 			return true
 		}
 	}
@@ -122,9 +153,11 @@ func (c *Cache) Contains(l Line) bool {
 
 // IsDirty reports whether line is resident and dirty.
 func (c *Cache) IsDirty(l Line) bool {
-	for _, e := range c.sets[c.setOf(l)] {
-		if e.line == l {
-			return e.dirty
+	set := c.sets[c.setOf(l)]
+	k := key(l)
+	for i := len(set) - 1; i >= 0; i-- {
+		if set[i]&^entryDirty == k {
+			return set[i].dirty()
 		}
 	}
 	return false
@@ -137,10 +170,13 @@ func (c *Cache) IsDirty(l Line) bool {
 func (c *Cache) Insert(l Line, dirty bool) (evicted Line, evictedDirty, didEvict bool) {
 	si := c.setOf(l)
 	set := c.sets[si]
-	for i := range set {
-		if set[i].line == l {
+	k := key(l)
+	for i := len(set) - 1; i >= 0; i-- {
+		if set[i]&^entryDirty == k {
 			e := set[i]
-			e.dirty = e.dirty || dirty
+			if dirty {
+				e |= entryDirty
+			}
 			copy(set[i:], set[i+1:])
 			set[len(set)-1] = e
 			return 0, false, false
@@ -149,11 +185,11 @@ func (c *Cache) Insert(l Line, dirty bool) (evicted Line, evictedDirty, didEvict
 	if len(set) >= c.geom.Assoc {
 		victim := set[0]
 		copy(set, set[1:])
-		set[len(set)-1] = entry{line: l, dirty: dirty}
+		set[len(set)-1] = packEntry(l, dirty)
 		c.sets[si] = set
-		return victim.line, victim.dirty, true
+		return victim.line(), victim.dirty(), true
 	}
-	c.sets[si] = append(set, entry{line: l, dirty: dirty})
+	c.sets[si] = append(set, packEntry(l, dirty))
 	c.count++
 	return 0, false, false
 }
@@ -162,9 +198,10 @@ func (c *Cache) Insert(l Line, dirty bool) (evicted Line, evictedDirty, didEvict
 // line was present.
 func (c *Cache) MarkDirty(l Line) bool {
 	set := c.sets[c.setOf(l)]
-	for i := range set {
-		if set[i].line == l {
-			set[i].dirty = true
+	k := key(l)
+	for i := len(set) - 1; i >= 0; i-- {
+		if set[i]&^entryDirty == k {
+			set[i] |= entryDirty
 			return true
 		}
 	}
@@ -175,9 +212,10 @@ func (c *Cache) MarkDirty(l Line) bool {
 func (c *Cache) Remove(l Line) (wasDirty, removed bool) {
 	si := c.setOf(l)
 	set := c.sets[si]
+	k := key(l)
 	for i := range set {
-		if set[i].line == l {
-			dirty := set[i].dirty
+		if set[i]&^entryDirty == k {
+			dirty := set[i].dirty()
 			c.sets[si] = append(set[:i], set[i+1:]...)
 			c.count--
 			return dirty, true
@@ -197,14 +235,23 @@ func (c *Cache) Clear() {
 // Lines returns all resident lines in ascending order (for inspection and
 // the Fig. 2 cache-contents tool).
 func (c *Cache) Lines() []Line {
-	out := make([]Line, 0, c.count)
+	return c.AppendLines(make([]Line, 0, c.count))
+}
+
+// AppendLines appends every resident line to dst in ascending order and
+// returns the extended slice — the allocation-free sibling of Lines for
+// callers with a reusable scratch buffer (the machine's residency and
+// invariant scans).
+func (c *Cache) AppendLines(dst []Line) []Line {
+	start := len(dst)
 	for _, set := range c.sets {
 		for _, e := range set {
-			out = append(out, e.line)
+			dst = append(dst, e.line())
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	added := dst[start:]
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	return dst
 }
 
 // ResidentBytesIn counts how many bytes of span are resident, for occupancy

@@ -16,6 +16,15 @@
 // chip's shared L3 is another. The machine model keeps directory state in
 // lockstep with cache contents; the invariant tests in internal/machine
 // check that correspondence after every simulation.
+//
+// The directory sits on the simulator's access fast path — every miss
+// probes it and every store acquires ownership through it — so entries
+// live inline in an open-addressed hash table rather than behind the
+// pointer-chasing map[Line]*state this package started with. An entry is
+// 24 bytes: the line number, a 64-bit holder bitmask (the paper's AMD16
+// machine needs 20 node bits), and the dirty owner. Probing is linear with
+// backward-shift deletion, so lookups never cross tombstones and the
+// common probe is one cache line of table.
 package coherence
 
 import (
@@ -32,16 +41,31 @@ type Node int
 // NoOwner marks a line with no dirty copy.
 const NoOwner Node = -1
 
-// lineState is the directory entry for one line.
-type lineState struct {
-	holders uint64 // bitmask over nodes
-	owner   Node   // node holding the line dirty, or NoOwner
+// ownerNone is NoOwner in an entry's compact owner field.
+const ownerNone int8 = -1
+
+// entry is the directory's record for one line, stored by value in the
+// open-addressed table. holders == 0 doubles as the empty-slot marker: a
+// tracked line always has at least one holder (the last RemoveSharer or
+// InvalidateExcept deletes the entry), so no separate occupancy bit is
+// needed and line 0 stays a valid key.
+type entry struct {
+	line    cache.Line
+	holders uint64 // bitmask over nodes; 0 ⇒ slot empty
+	owner   int8   // node holding the line dirty, or ownerNone
 }
+
+// dirInitialSlots is the starting table size. Runs at AMD16 scale track a
+// few hundred thousand lines; the table doubles as needed.
+const dirInitialSlots = 1024
 
 // Directory tracks holders of every cached line in the machine.
 type Directory struct {
-	nodes int
-	lines map[cache.Line]*lineState
+	nodes   int
+	tab     []entry
+	mask    uint64 // len(tab)-1; len(tab) is a power of two
+	count   int    // occupied slots
+	maxLoad int    // grow when count reaches this (¾ of the table)
 }
 
 // NewDirectory creates a directory for a machine with the given total
@@ -51,14 +75,31 @@ func NewDirectory(nodes int) *Directory {
 	if nodes <= 0 || nodes > 64 {
 		panic(fmt.Sprintf("coherence: %d nodes outside supported range [1,64]", nodes))
 	}
-	return &Directory{nodes: nodes, lines: make(map[cache.Line]*lineState)}
+	d := &Directory{nodes: nodes}
+	d.initTable(dirInitialSlots)
+	return d
+}
+
+func (d *Directory) initTable(slots int) {
+	d.tab = make([]entry, slots)
+	d.mask = uint64(slots - 1)
+	d.maxLoad = slots - slots/4
+	d.count = 0
 }
 
 // Nodes returns the number of nodes the directory was built for.
 func (d *Directory) Nodes() int { return d.nodes }
 
 // TrackedLines returns how many lines currently have at least one holder.
-func (d *Directory) TrackedLines() int { return len(d.lines) }
+func (d *Directory) TrackedLines() int { return d.count }
+
+// Reset drops every entry while keeping the table's capacity, so a machine
+// flushed between benchmark phases does not regrow the directory from
+// scratch.
+func (d *Directory) Reset() {
+	clear(d.tab)
+	d.count = 0
+}
 
 func (d *Directory) checkNode(n Node) {
 	if n < 0 || int(n) >= d.nodes {
@@ -66,28 +107,118 @@ func (d *Directory) checkNode(n Node) {
 	}
 }
 
+// hashLine is the fmix64 finalizer: a full-avalanche hash so line numbers,
+// which arrive with strong arithmetic structure (consecutive lines,
+// chip-interleaved strides), spread over the table.
+func hashLine(l cache.Line) uint64 {
+	x := uint64(l)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// findSlot returns the table index of l's entry, or -1 when l is
+// untracked.
+func (d *Directory) findSlot(l cache.Line) int {
+	i := hashLine(l) & d.mask
+	for {
+		e := &d.tab[i]
+		if e.holders == 0 {
+			return -1
+		}
+		if e.line == l {
+			return int(i)
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// find returns a pointer to l's entry, or nil when l is untracked.
+func (d *Directory) find(l cache.Line) *entry {
+	if i := d.findSlot(l); i >= 0 {
+		return &d.tab[i]
+	}
+	return nil
+}
+
+// ensure returns l's entry, claiming an empty slot when the line is
+// untracked. The caller must set at least one holder bit before the next
+// table operation: holders == 0 marks an empty slot.
+func (d *Directory) ensure(l cache.Line) *entry {
+	if d.count >= d.maxLoad {
+		d.grow()
+	}
+	i := hashLine(l) & d.mask
+	for {
+		e := &d.tab[i]
+		if e.holders == 0 {
+			e.line = l
+			e.owner = ownerNone
+			d.count++
+			return e
+		}
+		if e.line == l {
+			return e
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+func (d *Directory) grow() {
+	old := d.tab
+	d.initTable(len(old) * 2)
+	for i := range old {
+		if old[i].holders == 0 {
+			continue
+		}
+		j := hashLine(old[i].line) & d.mask
+		for d.tab[j].holders != 0 {
+			j = (j + 1) & d.mask
+		}
+		d.tab[j] = old[i]
+		d.count++
+	}
+}
+
+// deleteAt removes the entry at slot i, backward-shifting any displaced
+// entries in its probe run so later probes never traverse tombstones
+// (Knuth vol. 3, algorithm R).
+func (d *Directory) deleteAt(i uint64) {
+	d.count--
+	j := i
+	for {
+		j = (j + 1) & d.mask
+		e := d.tab[j]
+		if e.holders == 0 {
+			break
+		}
+		k := hashLine(e.line) & d.mask
+		// Shift e back into the hole when its home slot k precedes the
+		// hole cyclically — i.e. the hole sits inside e's probe path.
+		if (j > i && (k <= i || k > j)) || (j < i && k <= i && k > j) {
+			d.tab[i] = e
+			i = j
+		}
+	}
+	d.tab[i] = entry{}
+}
+
 // AddSharer records that node now holds a clean copy of line.
 func (d *Directory) AddSharer(l cache.Line, n Node) {
 	d.checkNode(n)
-	st := d.lines[l]
-	if st == nil {
-		st = &lineState{owner: NoOwner}
-		d.lines[l] = st
-	}
-	st.holders |= 1 << uint(n)
+	d.ensure(l).holders |= 1 << uint(n)
 }
 
 // SetOwner records that node holds line dirty (Modified). Any previous
 // owner mark is replaced; the node is also recorded as a holder.
 func (d *Directory) SetOwner(l cache.Line, n Node) {
 	d.checkNode(n)
-	st := d.lines[l]
-	if st == nil {
-		st = &lineState{owner: NoOwner}
-		d.lines[l] = st
-	}
-	st.holders |= 1 << uint(n)
-	st.owner = n
+	e := d.ensure(l)
+	e.holders |= 1 << uint(n)
+	e.owner = int8(n)
 }
 
 // RemoveSharer records that node no longer holds line (eviction or
@@ -95,16 +226,17 @@ func (d *Directory) SetOwner(l cache.Line, n Node) {
 // the line lives only in DRAM.
 func (d *Directory) RemoveSharer(l cache.Line, n Node) {
 	d.checkNode(n)
-	st := d.lines[l]
-	if st == nil {
+	i := d.findSlot(l)
+	if i < 0 {
 		return
 	}
-	st.holders &^= 1 << uint(n)
-	if st.owner == n {
-		st.owner = NoOwner
+	e := &d.tab[i]
+	e.holders &^= 1 << uint(n)
+	if e.owner == int8(n) {
+		e.owner = ownerNone
 	}
-	if st.holders == 0 {
-		delete(d.lines, l)
+	if e.holders == 0 {
+		d.deleteAt(uint64(i))
 	}
 }
 
@@ -113,30 +245,29 @@ func (d *Directory) RemoveSharer(l cache.Line, n Node) {
 func (d *Directory) MoveSharer(l cache.Line, from, to Node) {
 	d.checkNode(from)
 	d.checkNode(to)
-	st := d.lines[l]
-	if st == nil || st.holders&(1<<uint(from)) == 0 {
+	e := d.find(l)
+	if e == nil || e.holders&(1<<uint(from)) == 0 {
 		// Nothing to move; treat as a plain add so callers need not
 		// special-case races between eviction paths.
 		d.AddSharer(l, to)
 		return
 	}
-	wasOwner := st.owner == from
-	st.holders &^= 1 << uint(from)
-	st.holders |= 1 << uint(to)
+	wasOwner := e.owner == int8(from)
+	e.holders &^= 1 << uint(from)
+	e.holders |= 1 << uint(to)
 	if wasOwner {
-		st.owner = to
+		e.owner = int8(to)
 	}
 }
 
 // Holders returns the nodes holding line, in ascending order. The result
-// is freshly allocated.
+// is freshly allocated; the hot path uses HolderMask instead.
 func (d *Directory) Holders(l cache.Line) []Node {
-	st := d.lines[l]
-	if st == nil {
+	m := d.HolderMask(l)
+	if m == 0 {
 		return nil
 	}
-	out := make([]Node, 0, bits.OnesCount64(st.holders))
-	m := st.holders
+	out := make([]Node, 0, bits.OnesCount64(m))
 	for m != 0 {
 		n := bits.TrailingZeros64(m)
 		out = append(out, Node(n))
@@ -148,11 +279,11 @@ func (d *Directory) Holders(l cache.Line) []Node {
 // HolderMask returns the raw holder bitmask (hot path for the machine
 // model; avoids allocation).
 func (d *Directory) HolderMask(l cache.Line) uint64 {
-	st := d.lines[l]
-	if st == nil {
+	e := d.find(l)
+	if e == nil {
 		return 0
 	}
-	return st.holders
+	return e.holders
 }
 
 // Holds reports whether node holds line.
@@ -163,35 +294,50 @@ func (d *Directory) Holds(l cache.Line, n Node) bool {
 
 // Owner returns the node holding line dirty, or NoOwner.
 func (d *Directory) Owner(l cache.Line) Node {
-	st := d.lines[l]
-	if st == nil {
+	e := d.find(l)
+	if e == nil {
 		return NoOwner
 	}
-	return st.owner
+	return Node(e.owner)
+}
+
+// AcquireExclusive makes keep the sole holder and dirty owner of line in a
+// single table probe — InvalidateExcept followed by SetOwner, fused for
+// the store path — and returns the bitmask of nodes that lost their
+// copies. The common case (keep already the sole owner) touches one entry
+// and allocates nothing.
+func (d *Directory) AcquireExclusive(l cache.Line, keep Node) (invalidated uint64) {
+	d.checkNode(keep)
+	e := d.ensure(l)
+	invalidated = e.holders &^ (1 << uint(keep))
+	e.holders = 1 << uint(keep)
+	e.owner = int8(keep)
+	return invalidated
 }
 
 // InvalidateExcept removes every holder of line other than keep and returns
-// the nodes that were invalidated. It implements the write path: a store
-// must make the writer the sole holder.
+// the nodes that were invalidated, in ascending order. It implements the
+// write path: a store must make the writer the sole holder.
 func (d *Directory) InvalidateExcept(l cache.Line, keep Node) []Node {
 	d.checkNode(keep)
-	st := d.lines[l]
-	if st == nil {
+	i := d.findSlot(l)
+	if i < 0 {
 		return nil
 	}
+	e := &d.tab[i]
 	var out []Node
-	m := st.holders &^ (1 << uint(keep))
+	m := e.holders &^ (1 << uint(keep))
 	for m != 0 {
 		n := bits.TrailingZeros64(m)
 		out = append(out, Node(n))
 		m &^= 1 << uint(n)
 	}
-	st.holders &= 1 << uint(keep)
-	if st.owner != keep {
-		st.owner = NoOwner
+	e.holders &= 1 << uint(keep)
+	if e.owner != int8(keep) {
+		e.owner = ownerNone
 	}
-	if st.holders == 0 {
-		delete(d.lines, l)
+	if e.holders == 0 {
+		d.deleteAt(uint64(i))
 	}
 	return out
 }

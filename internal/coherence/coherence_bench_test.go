@@ -1,0 +1,52 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// benchLines is sized like a busy Tiny8 run: a few thousand simultaneously
+// tracked lines, far more lines cycled through over time.
+const benchLines = 4096
+
+func populatedDirectory() *Directory {
+	d := NewDirectory(20)
+	for i := 0; i < benchLines; i++ {
+		l := cache.Line(i * 3) // stride so line numbers aren't dense
+		d.AddSharer(l, Node(i%16))
+		if i%4 == 0 {
+			d.AddSharer(l, Node(16+i%4))
+		}
+	}
+	return d
+}
+
+// BenchmarkDirectoryLookup measures the read probe the machine model issues
+// on every miss (HolderMask) against a populated directory.
+func BenchmarkDirectoryLookup(b *testing.B) {
+	d := populatedDirectory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += d.HolderMask(cache.Line((i % benchLines) * 3))
+	}
+	benchSink = sink
+}
+
+// BenchmarkDirectoryChurn measures the write path mix: add a sharer, mark
+// an owner, remove — the sequence evictions and installs generate.
+func BenchmarkDirectoryChurn(b *testing.B) {
+	d := NewDirectory(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := cache.Line(i % benchLines)
+		d.AddSharer(l, Node(i%16))
+		d.SetOwner(l, Node(i%16))
+		d.RemoveSharer(l, Node(i%16))
+	}
+}
+
+var benchSink uint64

@@ -116,7 +116,28 @@ type Runtime struct {
 	clusterSeq int
 	mon        monitorState
 
+	// ctxPool recycles opCtx records: one is needed per in-flight
+	// operation, and the annotation path runs once per simulated
+	// operation.
+	ctxPool []*opCtx
+
 	stats Stats
+}
+
+// getCtx returns a zeroed opCtx, reusing a pooled one when available.
+func (rt *Runtime) getCtx() *opCtx {
+	if n := len(rt.ctxPool); n > 0 {
+		ctx := rt.ctxPool[n-1]
+		rt.ctxPool[n-1] = nil
+		rt.ctxPool = rt.ctxPool[:n-1]
+		*ctx = opCtx{}
+		return ctx
+	}
+	return &opCtx{}
+}
+
+func (rt *Runtime) putCtx(ctx *opCtx) {
+	rt.ctxPool = append(rt.ctxPool, ctx)
 }
 
 // Stats counts runtime-level events for reports and tests.
@@ -197,7 +218,8 @@ func (rt *Runtime) OpStartReadOnly(t *exec.Thread, addr mem.Addr) { rt.start(t, 
 func (rt *Runtime) start(t *exec.Thread, addr mem.Addr, readOnly bool) {
 	rt.stats.Ops++
 	oi := rt.info(addr)
-	ctx := &opCtx{startAt: t.Now(), core: t.Core(), origin: t.Core()}
+	ctx := rt.getCtx()
+	ctx.startAt, ctx.core, ctx.origin = t.Now(), t.Core(), t.Core()
 	if oi != nil {
 		ctx.oi = oi
 		oi.process = t.Process()
@@ -271,6 +293,7 @@ func (rt *Runtime) OpEnd(t *exec.Thread) {
 		panic(fmt.Sprintf("core: OpEnd on thread %q with no operation in flight", t.Name()))
 	}
 	ctx := stack[len(stack)-1]
+	stack[len(stack)-1] = nil
 	rt.inflight[t.ID()] = stack[:len(stack)-1]
 	nested := len(stack) > 1
 
@@ -301,15 +324,17 @@ func (rt *Runtime) OpEnd(t *exec.Thread) {
 		}
 		rt.maybeReplicate(oi)
 	}
-	if ctx.migrated && (nested || rt.opts.ReturnToOrigin) {
+	migrated, origin := ctx.migrated, ctx.origin
+	rt.putCtx(ctx) // all fields consumed; recycle before any migration
+	if migrated && (nested || rt.opts.ReturnToOrigin) {
 		// A nested operation must resume on the enclosing operation's
 		// core; a top-level operation returns only when configured —
 		// by default the thread is simply "ready to run on another
 		// core" (paper §4) and continues from where the object lives.
-		t.MigrateTo(ctx.origin)
+		t.MigrateTo(origin)
 		return
 	}
-	if ctx.migrated && !nested {
+	if migrated && !nested {
 		rt.disperse(t)
 	}
 }

@@ -28,8 +28,12 @@ import (
 //  3. clears the per-window op counts.
 
 // monitorState carries per-pass counter snapshots between invocations.
+// snaps and deltas are scratch reused every pass; last persists between
+// passes. All three are sized to the core count on first use.
 type monitorState struct {
-	last []perfctr.Counters
+	last   []perfctr.Counters
+	snaps  []perfctr.Counters
+	deltas []perfctr.Counters
 }
 
 // rebalance is one monitor pass.
@@ -65,19 +69,20 @@ func (rt *Runtime) rebalance() {
 
 	// 2. Balance operations across cores.
 	rt.sys.FlushIdleAccounting()
-	snaps := rt.mach.Counters().SnapshotAll()
-	if rt.mon.last == nil {
-		rt.mon.last = snaps
+	mon := &rt.mon
+	mon.snaps = rt.mach.Counters().AppendSnapshots(mon.snaps[:0])
+	if mon.last == nil {
+		mon.last = append(mon.last, mon.snaps...)
 		rt.endWindow()
 		return
 	}
-	deltas := make([]perfctr.Counters, len(snaps))
-	for i := range snaps {
-		deltas[i] = snaps[i].Sub(rt.mon.last[i])
+	mon.deltas = mon.deltas[:0]
+	for i := range mon.snaps {
+		mon.deltas = append(mon.deltas, mon.snaps[i].Sub(mon.last[i]))
 	}
-	rt.mon.last = snaps
+	copy(mon.last, mon.snaps)
 
-	moved := rt.balanceLoad(deltas)
+	moved := rt.balanceLoad(mon.deltas)
 	if moved > 0 {
 		rt.stats.Rebalances++
 		rt.opts.Tracer.Emit(trace.Event{At: now, Kind: trace.EvRebalance, Arg1: int64(moved)})

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -15,23 +16,39 @@ import (
 // state stay exact) and performs one Sleep at Commit. The approximation —
 // other cores' accesses interleave at operation rather than word
 // granularity — is the standard trade simulators make.
+//
+// Load and Store drive the machine's line-batched AccessRange directly,
+// so a sector-sized access resolves its per-core state once, not once per
+// touched line.
 type Batch struct {
 	t       *Thread
+	mach    *machine.Machine
 	memLat  sim.Cycles
 	compute float64
 }
 
 // NewBatch starts an empty batch on t.
-func (t *Thread) NewBatch() *Batch { return &Batch{t: t} }
+func (t *Thread) NewBatch() *Batch { return &Batch{t: t, mach: t.sys.mach} }
+
+// Batch returns t's reusable cost batch, creating it on first use. A batch
+// is empty between Commits, so callers whose operations fully commit —
+// like the directory-lookup loop, which previously allocated a fresh batch
+// per operation — can share one per thread.
+func (t *Thread) Batch() *Batch {
+	if t.batch == nil {
+		t.batch = t.NewBatch()
+	}
+	return t.batch
+}
 
 // Load charges a read of [addr, addr+n).
 func (b *Batch) Load(addr mem.Addr, n int) {
-	b.memLat += b.t.sys.mach.Load(b.t.core, addr, n, b.t.proc.Now()+b.memLat)
+	b.memLat += b.mach.AccessRange(b.t.core, addr, n, false, b.t.proc.Now()+b.memLat)
 }
 
 // Store charges a write of [addr, addr+n).
 func (b *Batch) Store(addr mem.Addr, n int) {
-	b.memLat += b.t.sys.mach.Store(b.t.core, addr, n, b.t.proc.Now()+b.memLat)
+	b.memLat += b.mach.AccessRange(b.t.core, addr, n, true, b.t.proc.Now()+b.memLat)
 }
 
 // Compute charges c cycles of computation (fractions accumulate and are
@@ -40,7 +57,7 @@ func (b *Batch) Compute(c float64) { b.compute += c }
 
 // Pending returns the cost accumulated so far.
 func (b *Batch) Pending() sim.Cycles {
-	return b.memLat + sim.Cycles(b.compute*b.t.sys.mach.Config().SpeedOf(b.t.core))
+	return b.memLat + sim.Cycles(b.compute*b.mach.Config().SpeedOf(b.t.core))
 }
 
 // Commit advances the thread's simulated time by the accumulated cost and

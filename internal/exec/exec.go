@@ -146,9 +146,13 @@ func (c *Core) release(t *Thread) {
 	if c.holder != t {
 		panic(fmt.Sprintf("exec: thread %q releasing core %d it does not hold", t.name, c.id))
 	}
-	if len(c.waiters) > 0 {
+	if n := len(c.waiters); n > 0 {
 		next := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		// Shift in place rather than re-slicing the head away: the queue
+		// keeps its backing array, so enqueueing never re-allocates.
+		copy(c.waiters, c.waiters[1:])
+		c.waiters[n-1] = nil
+		c.waiters = c.waiters[:n-1]
 		c.holder = next
 		next.proc.Unpark()
 		return
@@ -169,6 +173,9 @@ type Thread struct {
 	core int // core it currently executes on
 
 	ctxBuf mem.Addr // simulated context-save area (ContextBytes long)
+
+	// batch is the thread's reusable cost batch (see Thread.Batch).
+	batch *Batch
 
 	// process identifies the owning process for the priority/fairness
 	// extension (§6.2); 0 is the default process.

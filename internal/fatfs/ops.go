@@ -111,20 +111,29 @@ func (fs *FS) writeEntry(acc Access, addr mem.Addr, raw [11]byte, attr byte, fir
 // Lookup scans d for name, charging acc for every entry read until the
 // match — the paper's inner loop ("Search dir for file", Fig. 1). It
 // returns ErrNotFound when the directory does not contain name.
+//
+// The loop is the simulator's hottest host-side code: it resolves the
+// backing bytes once per 512-byte sector (as EFSL reads them) and
+// accumulates the per-entry compare cost locally, charging it in one
+// Compute call — the same total, without an interface call per slot.
 func (fs *FS) Lookup(acc Access, d Dir, name string) (Entry, error) {
 	raw, err := EncodeName(name)
 	if err != nil {
 		return Entry{}, err
 	}
 	var found *Entry
+	var sector []byte
+	compared := 0
 	fs.forEachSlot(acc, d, func(addr mem.Addr, idx int) bool {
-		// EFSL reads directories a sector at a time; charge the load
-		// once per 512-byte sector, then compare entries from it.
+		// Charge the load once per sector, then compare entries from it.
+		// Slot addresses advance sequentially, so the sector slice stays
+		// valid until the next sector boundary.
 		if addr%SectorSize == 0 {
 			acc.Load(addr, SectorSize)
+			sector = fs.img.Bytes(addr, SectorSize)
 		}
-		acc.Compute(CompareCost)
-		b := fs.img.Bytes(addr, DirEntrySize)
+		compared++
+		b := sector[addr%SectorSize:]
 		switch b[0] {
 		case 0x00: // end-of-directory marker
 			return false
@@ -140,6 +149,7 @@ func (fs *FS) Lookup(acc Access, d Dir, name string) (Entry, error) {
 		found = &e
 		return false
 	})
+	acc.Compute(float64(compared) * CompareCost)
 	if found == nil {
 		return Entry{}, ErrNotFound{Name: name}
 	}

@@ -28,6 +28,8 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -51,6 +53,10 @@ type Machine struct {
 	dram []bwMeter
 
 	lineSize int
+
+	// scratchLines is reused by the invariant checks, which would
+	// otherwise allocate a fresh line set on every residency scan.
+	scratchLines []cache.Line
 }
 
 // bwMeter models a bandwidth-limited resource with windowed accounting:
@@ -112,13 +118,22 @@ func (b *bwMeter) reset() {
 
 // New builds a machine from cfg with memBytes of simulated DRAM.
 func New(cfg topology.Config, memBytes int) (*Machine, error) {
+	return NewWithMemLimit(cfg, memBytes, memBytes)
+}
+
+// NewWithMemLimit builds a machine whose memory image starts at memBytes
+// and grows on demand up to memLimit. Sweep cells start images at the
+// workload's exact requirement (zeroing the backing array is a real cost
+// when thousands of short-lived machines are built) while keeping the
+// allocation headroom of the larger limit.
+func NewWithMemLimit(cfg topology.Config, memBytes, memLimit int) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	n := cfg.NumCores()
 	m := &Machine{
 		cfg:      cfg,
-		img:      mem.NewImage(memBytes),
+		img:      mem.NewImageWithLimit(memBytes, memLimit),
 		l1:       make([]*cache.Cache, n),
 		l2:       make([]*cache.Cache, n),
 		l3:       make([]*cache.Cache, cfg.Chips),
@@ -202,48 +217,81 @@ func (m *Machine) Store(core int, addr mem.Addr, size int, at sim.Time) sim.Cycl
 }
 
 // AccessRange charges an access to every line overlapping
-// [addr, addr+size), serialized, and returns the total latency.
+// [addr, addr+size), serialized, and returns the total latency. This is
+// the line-batched entry point the execution substrate's cost batches
+// drive: per-core state (counters, L1) is resolved once per range, not
+// once per line, and the whole common case allocates nothing.
 func (m *Machine) AccessRange(core int, addr mem.Addr, size int, write bool, at sim.Time) sim.Cycles {
 	if size <= 0 {
 		return 0
 	}
 	first := cache.LineOf(addr, m.lineSize)
 	last := cache.LineOf(addr+mem.Addr(size-1), m.lineSize)
+	c := m.ctr.Core(core)
+	l1 := m.l1[core]
 	var total sim.Cycles
 	for l := first; l <= last; l++ {
-		total += m.accessLine(core, l, write, at+total)
+		total += m.lineAccess(core, l, write, at+total, c, l1)
 	}
 	return total
 }
 
-// accessLine is the heart of the model: one core touching one line.
+// accessLine is one core touching one line, resolving the per-core state
+// lineAccess wants hoisted.
 func (m *Machine) accessLine(core int, l cache.Line, write bool, at sim.Time) sim.Cycles {
-	c := m.ctr.Core(core)
+	return m.lineAccess(core, l, write, at, m.ctr.Core(core), m.l1[core])
+}
+
+// lineAccess is the heart of the model: one core touching one line, with
+// the core's counter file and L1 already resolved (AccessRange hoists
+// them out of its per-line loop). The common case — an L1 hit — completes
+// here without touching the directory (loads) or allocating (loads and
+// stores); everything else drops into missLine, the out-of-line slow
+// path.
+func (m *Machine) lineAccess(core int, l cache.Line, write bool, at sim.Time, c *perfctr.Counters, l1 *cache.Cache) sim.Cycles {
 	if write {
 		c.Stores++
 	} else {
 		c.Loads++
 	}
-
-	lat, ok := m.lookupLocal(core, l, c)
-	if !ok {
-		lat = m.fetchMiss(core, l, write, at, c)
-	}
-
-	if write {
-		lat += m.acquireOwnership(core, l, c)
+	var lat sim.Cycles
+	if l1.Lookup(l) {
+		lat = m.l1HitTail(core, l, write, c)
+	} else {
+		c.L1Miss++
+		lat = m.missLine(core, l, write, at, c)
 	}
 	c.StallCycles += uint64(lat)
 	return lat
 }
 
-// lookupLocal checks the core's private hierarchy and chip L3.
-func (m *Machine) lookupLocal(core int, l cache.Line, c *perfctr.Counters) (sim.Cycles, bool) {
-	if m.l1[core].Lookup(l) {
-		m.l2[core].Lookup(l) // keep L2 recency in step (inclusive hierarchy)
-		return m.cfg.Lat.L1Hit, true
+// l1HitTail finishes an access whose line hit L1: refresh L2 recency
+// (inclusive hierarchy) and, for stores, acquire exclusive ownership.
+func (m *Machine) l1HitTail(core int, l cache.Line, write bool, c *perfctr.Counters) sim.Cycles {
+	m.l2[core].Lookup(l)
+	lat := m.cfg.Lat.L1Hit
+	if write {
+		lat += m.acquireOwnership(core, l, c)
 	}
-	c.L1Miss++
+	return lat
+}
+
+// missLine services an access that missed L1: the rest of the local
+// hierarchy, then remote caches or DRAM, then write ownership.
+func (m *Machine) missLine(core int, l cache.Line, write bool, at sim.Time, c *perfctr.Counters) sim.Cycles {
+	lat, ok := m.lookupShared(core, l, c)
+	if !ok {
+		lat = m.fetchMiss(core, l, write, at, c)
+	}
+	if write {
+		lat += m.acquireOwnership(core, l, c)
+	}
+	return lat
+}
+
+// lookupShared checks the core's L2 and the chip's shared L3 after an L1
+// miss.
+func (m *Machine) lookupShared(core int, l cache.Line, c *perfctr.Counters) (sim.Cycles, bool) {
 	if m.l2[core].Lookup(l) {
 		c.L2Loads++
 		m.installL1(core, l)
@@ -280,8 +328,10 @@ func (m *Machine) fetchMiss(core int, l cache.Line, write bool, at sim.Time, c *
 	return lat
 }
 
-// nearestHolderChip finds the chip of the closest cache holding the line.
-// The requesting core itself cannot be a holder (it just missed).
+// nearestHolderChip finds the chip of the closest cache holding the line,
+// iterating holder bits directly (ascending node order, matching the
+// directory's fan-out order). The requesting core itself cannot be a
+// holder (it just missed).
 func (m *Machine) nearestHolderChip(core int, l cache.Line) (chip int, found bool) {
 	mask := m.dir.HolderMask(l)
 	if mask == 0 {
@@ -290,10 +340,9 @@ func (m *Machine) nearestHolderChip(core int, l cache.Line) (chip int, found boo
 	myChip := m.cfg.ChipOf(core)
 	best, bestDist := 0, int(^uint(0)>>1)
 	ncores := m.cfg.NumCores()
-	for node := 0; node < m.dir.Nodes(); node++ {
-		if mask&(1<<uint(node)) == 0 {
-			continue
-		}
+	for mm := mask; mm != 0; {
+		node := bits.TrailingZeros64(mm)
+		mm &^= 1 << uint(node)
 		var holderChip int
 		if node < ncores {
 			holderChip = m.cfg.ChipOf(node)
@@ -319,24 +368,27 @@ func (m *Machine) dramQueue(chip int, at sim.Time) sim.Cycles {
 
 // acquireOwnership makes core the sole holder after a write, invalidating
 // remote copies and marking the local line dirty. Returns the added cost.
+// The directory work is one fused AcquireExclusive probe; the returned
+// invalidation bitmask replaces the []Node the old write path allocated on
+// every contended store.
 func (m *Machine) acquireOwnership(core int, l cache.Line, c *perfctr.Counters) sim.Cycles {
 	node := m.coreNode(core)
 	var extra sim.Cycles
-	invalidated := m.dir.InvalidateExcept(l, node)
-	if len(invalidated) > 0 {
+	if inv := m.dir.AcquireExclusive(l, node); inv != 0 {
 		extra = m.cfg.Lat.InvalidateCost
-		c.Invalidations += uint64(len(invalidated))
+		c.Invalidations += uint64(bits.OnesCount64(inv))
 		ncores := m.cfg.NumCores()
-		for _, n := range invalidated {
-			if int(n) < ncores {
+		for inv != 0 {
+			n := bits.TrailingZeros64(inv)
+			inv &^= 1 << uint(n)
+			if n < ncores {
 				m.l1[n].Remove(l)
 				m.l2[n].Remove(l)
 			} else {
-				m.l3[int(n)-ncores].Remove(l)
+				m.l3[n-ncores].Remove(l)
 			}
 		}
 	}
-	m.dir.SetOwner(l, node)
 	m.l1[core].MarkDirty(l)
 	m.l2[core].MarkDirty(l)
 	return extra
@@ -389,8 +441,7 @@ func (m *Machine) FlushAll() {
 	for i := range m.l3 {
 		m.l3[i].Clear()
 	}
-	n := m.cfg.NumCores() + m.cfg.Chips
-	m.dir = coherence.NewDirectory(n)
+	m.dir.Reset()
 	for i := range m.dram {
 		m.dram[i].reset()
 	}
@@ -407,13 +458,15 @@ func (m *Machine) FlushAll() {
 func (m *Machine) CheckInvariants() error {
 	ncores := m.cfg.NumCores()
 	for core := 0; core < ncores; core++ {
-		for _, l := range m.l1[core].Lines() {
+		m.scratchLines = m.l1[core].AppendLines(m.scratchLines[:0])
+		for _, l := range m.scratchLines {
 			if !m.l2[core].Contains(l) {
 				return fmt.Errorf("machine: core %d L1 line %d violates inclusion", core, l)
 			}
 		}
 		node := m.coreNode(core)
-		for _, l := range m.l2[core].Lines() {
+		m.scratchLines = m.l2[core].AppendLines(m.scratchLines[:0])
+		for _, l := range m.scratchLines {
 			if !m.dir.Holds(l, node) {
 				return fmt.Errorf("machine: core %d holds line %d but directory disagrees", core, l)
 			}
@@ -421,7 +474,8 @@ func (m *Machine) CheckInvariants() error {
 	}
 	for chip := 0; chip < m.cfg.Chips; chip++ {
 		node := m.l3Node(chip)
-		for _, l := range m.l3[chip].Lines() {
+		m.scratchLines = m.l3[chip].AppendLines(m.scratchLines[:0])
+		for _, l := range m.scratchLines {
 			if !m.dir.Holds(l, node) {
 				return fmt.Errorf("machine: chip %d L3 holds line %d but directory disagrees", chip, l)
 			}
@@ -431,28 +485,30 @@ func (m *Machine) CheckInvariants() error {
 }
 
 // checkDirectoryBacked walks all resident lines and confirms each directory
-// holder bit is backed by a real resident line.
+// holder bit is backed by a real resident line. The residency scan reuses
+// the machine's line scratch (sorted and deduplicated in place) instead of
+// building a fresh map per call.
 func (m *Machine) checkDirectoryBacked() error {
 	ncores := m.cfg.NumCores()
-	seen := map[cache.Line]bool{}
-	collect := func(ls []cache.Line) {
-		for _, l := range ls {
-			seen[l] = true
-		}
-	}
+	lines := m.scratchLines[:0]
 	for i := 0; i < ncores; i++ {
-		collect(m.l2[i].Lines())
+		lines = m.l2[i].AppendLines(lines)
 	}
 	for i := 0; i < m.cfg.Chips; i++ {
-		collect(m.l3[i].Lines())
+		lines = m.l3[i].AppendLines(lines)
 	}
-	for l := range seen {
-		for _, n := range m.dir.Holders(l) {
+	slices.Sort(lines)
+	lines = slices.Compact(lines)
+	m.scratchLines = lines
+	for _, l := range lines {
+		for mask := m.dir.HolderMask(l); mask != 0; {
+			n := bits.TrailingZeros64(mask)
+			mask &^= 1 << uint(n)
 			var resident bool
-			if int(n) < ncores {
+			if n < ncores {
 				resident = m.l2[n].Contains(l)
 			} else {
-				resident = m.l3[int(n)-ncores].Contains(l)
+				resident = m.l3[n-ncores].Contains(l)
 			}
 			if !resident {
 				return fmt.Errorf("machine: directory says node %d holds line %d but no cache does", n, l)

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// BenchmarkL1Hit measures the common-case access: a load that hits the
+// core's L1. This is the fast path the hot-path refactor keeps
+// allocation-free (the acceptance gate is 0 allocs/op).
+func BenchmarkL1Hit(b *testing.B) {
+	m := MustNew(topology.Tiny8(), 1<<20)
+	const addr = mem.Addr(4096)
+	at := sim.Time(0)
+	at += m.Access(0, addr, false, at) // prime: L1 now holds the line
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at += m.Access(0, addr, false, at)
+	}
+}
+
+// BenchmarkL1HitStore measures the store fast path: an L1 hit by the line's
+// existing sole owner, which still has to consult the coherence directory.
+func BenchmarkL1HitStore(b *testing.B) {
+	m := MustNew(topology.Tiny8(), 1<<20)
+	const addr = mem.Addr(4096)
+	at := sim.Time(0)
+	at += m.Access(0, addr, true, at) // prime: core 0 owns the line
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at += m.Access(0, addr, true, at)
+	}
+}
+
+// BenchmarkRemoteMiss measures the coherence slow path: two cores on
+// different chips ping-ponging one line, so every access is a remote fetch
+// or an invalidating write.
+func BenchmarkRemoteMiss(b *testing.B) {
+	cfg := topology.Tiny8()
+	m := MustNew(cfg, 1<<20)
+	writer, reader := 0, cfg.CoresPerChip // first cores of chips 0 and 1
+	const addr = mem.Addr(4096)
+	at := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at += m.Access(writer, addr, true, at)  // invalidates reader's copy
+		at += m.Access(reader, addr, false, at) // remote fetch from writer's chip
+	}
+}
+
+// BenchmarkAccessRangeScan measures the line-batched range path the
+// execution substrate's cost batches drive: one 512-byte sector load per
+// iteration, the granularity of the FAT lookup loop.
+func BenchmarkAccessRangeScan(b *testing.B) {
+	m := MustNew(topology.Tiny8(), 1<<20)
+	const base = mem.Addr(8192)
+	at := sim.Time(0)
+	at += m.AccessRange(0, base, 512, false, at) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at += m.AccessRange(0, base, 512, false, at)
+	}
+}

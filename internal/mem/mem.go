@@ -40,21 +40,38 @@ type Object struct {
 // and the object registry.
 type Image struct {
 	data    []byte
+	limit   int // capacity ceiling; len(data) grows toward it on demand
 	next    Addr
 	objects []*Object // sorted by Base
 }
 
-// NewImage creates an image of size bytes. Allocations start at address 64
-// so that address 0 can serve as a "nil" sentinel.
+// NewImage creates an image of size bytes with a fixed capacity.
+// Allocations start at address 64 so that address 0 can serve as a "nil"
+// sentinel.
 func NewImage(size int) *Image {
+	return NewImageWithLimit(size, size)
+}
+
+// NewImageWithLimit creates an image whose backing starts at size bytes
+// and grows on demand up to limit. Zeroing the backing array is a real
+// cost for callers that build thousands of short-lived machines (the
+// sweep engine), so they start images at the workload's stated
+// requirement while keeping the allocation headroom of a larger limit.
+//
+// Growth reallocates the backing array: slices returned by Bytes must not
+// be held across an Alloc.
+func NewImageWithLimit(size, limit int) *Image {
 	if size <= 0 {
 		panic("mem: image size must be positive")
 	}
-	return &Image{data: make([]byte, size), next: 64}
+	if limit < size {
+		limit = size
+	}
+	return &Image{data: make([]byte, size), limit: limit, next: 64}
 }
 
-// Size returns the image capacity in bytes.
-func (im *Image) Size() int { return len(im.data) }
+// Size returns the image capacity in bytes (the growth limit).
+func (im *Image) Size() int { return im.limit }
 
 // Used returns the number of bytes handed out so far.
 func (im *Image) Used() uint64 { return uint64(im.next) }
@@ -73,11 +90,29 @@ func (im *Image) Alloc(size uint64, align uint64) (Addr, error) {
 	}
 	base := (uint64(im.next) + align - 1) &^ (align - 1)
 	if base+size > uint64(len(im.data)) {
-		return 0, fmt.Errorf("mem: out of memory: need %d bytes at %#x, image is %d bytes",
-			size, base, len(im.data))
+		if base+size > uint64(im.limit) {
+			return 0, fmt.Errorf("mem: out of memory: need %d bytes at %#x, image is %d bytes",
+				size, base, im.limit)
+		}
+		im.growTo(base + size)
 	}
 	im.next = Addr(base + size)
 	return Addr(base), nil
+}
+
+// growTo extends the backing array to at least need bytes, doubling to
+// amortize and clamping at the limit.
+func (im *Image) growTo(need uint64) {
+	newLen := uint64(len(im.data)) * 2
+	if newLen < need {
+		newLen = need
+	}
+	if newLen > uint64(im.limit) {
+		newLen = uint64(im.limit)
+	}
+	data := make([]byte, newLen)
+	copy(data, im.data)
+	im.data = data
 }
 
 // AllocObject allocates a span and registers it as a named object. Objects

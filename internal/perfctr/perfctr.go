@@ -119,9 +119,15 @@ func (s *Set) Snapshot(i int) Counters { return s.cores[i] }
 
 // SnapshotAll copies every core's counters.
 func (s *Set) SnapshotAll() []Counters {
-	out := make([]Counters, len(s.cores))
-	copy(out, s.cores)
-	return out
+	return s.AppendSnapshots(make([]Counters, 0, len(s.cores)))
+}
+
+// AppendSnapshots appends a copy of every core's counters to dst and
+// returns the extended slice — the allocation-free sibling of SnapshotAll
+// for monitors that sample every rebalance interval with a reusable
+// scratch buffer.
+func (s *Set) AppendSnapshots(dst []Counters) []Counters {
+	return append(dst, s.cores...)
 }
 
 // Total sums all cores.

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/stats"
@@ -36,23 +35,62 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap of events ordered by
+// (at, seq). Events live by value in the slice — a typed heap instead of
+// container/heap because the latter's interface{} Push/Pop boxed every
+// event onto the garbage-collected heap, one allocation per simulated
+// time-advance. The slice itself is the event pool: popped slots are
+// cleared and reused by later pushes.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // clear the vacated slot: release fn/proc references
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		next := l
+		if r := l + 1; r < n && s.less(r, l) {
+			next = r
+		}
+		if !s.less(next, i) {
+			break
+		}
+		s[i], s[next] = s[next], s[i]
+		i = next
+	}
+	return top
 }
 
 // Engine owns simulated time and the pending-event queue.
@@ -133,7 +171,7 @@ func (e *Engine) Every(period Cycles, fn func() bool) {
 func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 // Run executes events until the queue is empty, Stop is called, or time
@@ -142,13 +180,12 @@ func (e *Engine) push(ev event) {
 func (e *Engine) Run(limit Time) Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		if limit != 0 && ev.at > limit {
+		if limit != 0 && e.events[0].at > limit {
 			// Leave the event pending so a later Run can continue.
-			heap.Push(&e.events, ev)
 			e.now = limit
 			break
 		}
+		ev := e.events.pop()
 		if ev.at < e.now {
 			panic("sim: event queue went backwards")
 		}

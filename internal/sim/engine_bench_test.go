@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures the engine's event loop: schedule one
+// timer, dispatch it, repeat — the push/pop cost every simulated
+// time-advance pays. A backlog of far-future events keeps the heap at a
+// realistic depth so sift costs are included.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := NewEngine()
+	for i := 0; i < 1024; i++ {
+		eng.At(Time(1<<40)+Time(i), func() {})
+	}
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(1, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.After(1, tick)
+	eng.Run(Time(1 << 39))
+	if n < b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineProcSleep measures the proc context-switch path: one
+// simulated thread repeatedly advancing time, each advance a full
+// engine→proc→engine handoff.
+func BenchmarkEngineProcSleep(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	eng.Run(0)
+}

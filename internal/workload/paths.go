@@ -194,6 +194,7 @@ func RunPathLookup(env *PathEnv, ann sched.Annotator, p RunParams) PathResult {
 		i := i
 		rng := master.Split()
 		env.Sys.Go(fmt.Sprintf("thread %d", i), homes[i], func(t *exec.Thread) {
+			b := t.Batch() // reused across lookups: empty between Commits
 			for t.Now() < deadline {
 				ti := rng.Intn(len(env.Tops))
 				si := rng.Intn(len(env.Subs[ti]))
@@ -206,7 +207,6 @@ func RunPathLookup(env *PathEnv, ann sched.Annotator, p RunParams) PathResult {
 				// directory.
 				sched.OpStartRO(ann, t, top.Obj.Base)
 				t.Lock(top.Lock)
-				b := t.NewBatch()
 				subEntry, err := env.FS.Lookup(b, top.Dir, env.SubNames[si])
 				if err != nil {
 					panic(fmt.Sprintf("workload: top lookup: %v", err))
@@ -222,7 +222,6 @@ func RunPathLookup(env *PathEnv, ann sched.Annotator, p RunParams) PathResult {
 				}
 				sched.OpStartRO(ann, t, sub.Obj.Base)
 				t.Lock(sub.Lock)
-				b = t.NewBatch()
 				if _, err := env.FS.Lookup(b, subDir, file); err != nil {
 					panic(fmt.Sprintf("workload: sub lookup: %v", err))
 				}

@@ -102,7 +102,7 @@ func BuildEnvOn(sys *exec.System, spec DirSpec) (*Env, error) {
 		}
 		names := make([]string, spec.EntriesPerDir)
 		for j := range names {
-			names[j] = fmt.Sprintf("F%07d", j)
+			names[j] = fileName(j)
 		}
 		if err := fs.Populate(d, spec.EntriesPerDir, func(j int) string { return names[j] }); err != nil {
 			return nil, fmt.Errorf("workload: populate %s: %w", dirName, err)
@@ -123,6 +123,25 @@ func BuildEnvOn(sys *exec.System, spec DirSpec) (*Env, error) {
 		})
 	}
 	return env, nil
+}
+
+// fileName formats the benchmark file name "F%07d" without fmt's
+// reflection machinery: environments are rebuilt per sweep cell, so the
+// name table is built thousands of times per sweep. Indices too wide for
+// seven digits fall back to fmt so they fail EncodeName's 8.3 check
+// loudly instead of silently colliding.
+func fileName(j int) string {
+	if j > 9_999_999 {
+		return fmt.Sprintf("F%07d", j)
+	}
+	var buf [8]byte
+	buf[0] = 'F'
+	n := j
+	for i := 7; i >= 1; i-- {
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[:])
 }
 
 // rootEntriesFor sizes the root directory to hold n subdirectories,
@@ -307,6 +326,7 @@ func RunDirLookup(env *Env, ann sched.Annotator, p RunParams) Result {
 		i := i
 		env.Sys.Go(fmt.Sprintf("thread %d", i), homes[i], func(t *exec.Thread) {
 			rng := rngs[i]
+			b := t.Batch() // reused across lookups: empty between Commits
 			for t.Now() < deadline {
 				d := env.Dirs[pickDir(rng, env, p, divisor, t.Now())]
 				name := d.Names[rng.Intn(len(d.Names))]
@@ -318,7 +338,6 @@ func RunDirLookup(env *Env, ann sched.Annotator, p RunParams) Result {
 					ann.OpStart(t, d.Obj.Base)
 				}
 				t.Lock(d.Lock)
-				b := t.NewBatch()
 				if _, err := env.FS.Lookup(b, d.Dir, name); err != nil {
 					panic(fmt.Sprintf("workload: lookup %s: %v", name, err))
 				}

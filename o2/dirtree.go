@@ -78,7 +78,7 @@ func (d *Dir) EntryName(i int) string { return d.h.Names[i] }
 // drivers only resolve names they created.
 func (d *Dir) Lookup(t *Thread, name string) {
 	t.Lock(&d.lock)
-	b := t.t.NewBatch()
+	b := t.t.Batch() // per-thread reusable batch; empty between Commits
 	if _, err := d.tree.env.FS.Lookup(b, d.h.Dir, name); err != nil {
 		panic(fmt.Sprintf("o2: lookup %s in %s: %v", name, d.h.Obj.Name, err))
 	}

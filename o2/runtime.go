@@ -60,7 +60,14 @@ func MustNew(opts ...Option) *Runtime {
 
 // ensure materializes the engine, machine, substrate, and scheduler. A
 // workload builder passes the image size it needs; zero means "no
-// requirement" and falls back to WithMemory or the 64 MB default.
+// requirement" and falls back to WithMemory or the 64 MB default. When the
+// workload does state its requirement and the caller set no explicit
+// WithMemory, the image *starts* at exactly that requirement and grows on
+// demand up to the default: every sweep cell builds (and the allocator
+// zeroes) its own image, so a 64 MB up-front default under a
+// kilobyte-scale tree used to dominate the cell's wall-clock, while
+// growth keeps the old headroom for façade programs that allocate more
+// objects after building a tree.
 func (rt *Runtime) ensure(minImage int) error {
 	if rt.sys != nil {
 		return nil
@@ -72,7 +79,11 @@ func (rt *Runtime) ensure(minImage int) error {
 	if minImage > bytes {
 		bytes = minImage
 	}
-	m, err := machine.New(rt.set.topo.cfg, bytes)
+	start := bytes
+	if rt.set.memBytes == 0 && minImage > 0 {
+		start = minImage
+	}
+	m, err := machine.NewWithMemLimit(rt.set.topo.cfg, start, bytes)
 	if err != nil {
 		return err
 	}
