@@ -12,13 +12,16 @@
 //	o2bench fig4b [-quick] [-seed N] [-workers N] [-repeats N] [-json]
 //	                                    Figure 4(b): oscillating popularity
 //	o2bench fig2 [-dirs N] [-threads N] Figure 2: cache contents maps
+//	o2bench kv [-quick] [-seed N] [-workers N] [-repeats N] [-json]
+//	                                    KVService scenario: shard-placement
+//	                                    policies under Zipf load mixes
 //	o2bench latency                     §5 latency table
 //	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
 //	o2bench ablation -exp=NAME          clustering|replication|replacement|
 //	                                    migcost|hetero|paths|single|all
 //	o2bench all [-quick]                everything above
 //
-// The fig4 sweeps run on the o2.Sweep engine: -workers bounds the worker
+// The fig4 and kv sweeps run on the o2.Sweep engine: -workers bounds the worker
 // pool (default: all host CPUs), -repeats measures every grid cell that
 // many times with distinct derived seeds and reports mean±stddev, and
 // -json emits the machine-readable per-cell sweep results (schema pinned
@@ -33,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -87,9 +91,16 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "o2bench: %v\n", err)
+		if errors.Is(err, errUnknownCommand) {
+			os.Exit(2) // usage errors keep the flag package's exit status
+		}
 		os.Exit(1)
 	}
 }
+
+// errUnknownCommand marks a usage error, so main can exit 2 (matching
+// the global flag-parse path) after the profile bracket closes.
+var errUnknownCommand = errors.New("unknown command")
 
 // run dispatches one subcommand; profiling brackets it in main.
 func run(cmd string, args []string) error {
@@ -100,6 +111,8 @@ func run(cmd string, args []string) error {
 		return runFig4(args, false)
 	case "fig2", "cachemap":
 		return runFig2(args)
+	case "kv":
+		return runKV(args)
 	case "latency":
 		return runLatency()
 	case "migration":
@@ -112,10 +125,10 @@ func run(cmd string, args []string) error {
 		usage()
 		return nil
 	default:
-		fmt.Fprintf(os.Stderr, "o2bench: unknown command %q\n", cmd)
+		// Return instead of exiting: main must still stop the CPU
+		// profile and write the heap profile after run comes back.
 		usage()
-		os.Exit(2)
-		return nil
+		return fmt.Errorf("%w %q", errUnknownCommand, cmd)
 	}
 }
 
@@ -130,6 +143,8 @@ func usage() {
                                      Figure 4(b): oscillating popularity
   o2bench fig2 [-dirs N] [-entries N] [-threads N] [-seed N]
                                      Figure 2: cache-contents maps
+  o2bench kv [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
+                                     KVService scenario: placement policies on a sharded store
   o2bench latency                    hardware latency table (§5)
   o2bench migration [-trials N]      migration cost microbenchmark (§5)
   o2bench ablation -exp=NAME         clustering|replication|replacement|migcost|hetero|paths|single|all
@@ -137,16 +152,29 @@ func usage() {
 `)
 }
 
-// fig4Format selects how runFig4 renders the sweep.
-type fig4Format int
+// outFormat selects how a sweep subcommand renders its results.
+type outFormat int
 
 const (
-	fig4Table fig4Format = iota
-	fig4CSV
-	fig4JSON
+	formatTable outFormat = iota
+	formatCSV
+	formatJSON
 )
 
-func fig4Flags(args []string) (o2.Fig4Config, fig4Format, error) {
+// parseFormat folds the -json/-csv flags into one format.
+func parseFormat(jsonOut, csv bool) (outFormat, error) {
+	switch {
+	case jsonOut && csv:
+		return formatTable, fmt.Errorf("-json and -csv are mutually exclusive")
+	case jsonOut:
+		return formatJSON, nil
+	case csv:
+		return formatCSV, nil
+	}
+	return formatTable, nil
+}
+
+func fig4Flags(args []string) (o2.Fig4Config, outFormat, error) {
 	fs := flag.NewFlagSet("fig4", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sweep (fewer points, shorter windows)")
 	seed := fs.Uint64("seed", 1, "workload RNG seed")
@@ -155,7 +183,7 @@ func fig4Flags(args []string) (o2.Fig4Config, fig4Format, error) {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all host CPUs)")
 	repeats := fs.Int("repeats", 1, "measurements per grid cell (mean/stddev reported)")
 	if err := fs.Parse(args); err != nil {
-		return o2.Fig4Config{}, fig4Table, err
+		return o2.Fig4Config{}, formatTable, err
 	}
 	cfg := o2.DefaultFig4Config()
 	if *quick {
@@ -165,14 +193,9 @@ func fig4Flags(args []string) (o2.Fig4Config, fig4Format, error) {
 	cfg.Workers = *workers
 	cfg.Repeats = *repeats
 	cfg.Progress = os.Stderr
-	format := fig4Table
-	switch {
-	case *jsonOut && *csv:
-		return o2.Fig4Config{}, fig4Table, fmt.Errorf("-json and -csv are mutually exclusive")
-	case *jsonOut:
-		format = fig4JSON
-	case *csv:
-		format = fig4CSV
+	format, err := parseFormat(*jsonOut, *csv)
+	if err != nil {
+		return o2.Fig4Config{}, formatTable, err
 	}
 	return cfg, format, nil
 }
@@ -180,7 +203,7 @@ func fig4Flags(args []string) (o2.Fig4Config, fig4Format, error) {
 // emitFig4 runs the Figure-4 sweep and renders it to w in the requested
 // format. Split from runFig4 so the golden test can pin the -json schema
 // on a reduced configuration.
-func emitFig4(w io.Writer, cfg o2.Fig4Config, uniform bool, format fig4Format) error {
+func emitFig4(w io.Writer, cfg o2.Fig4Config, uniform bool, format outFormat) error {
 	title := "Figure 4(b): file system results, oscillated directory popularity"
 	prepare := o2.Fig4bSweep
 	if uniform {
@@ -192,19 +215,75 @@ func emitFig4(w io.Writer, cfg o2.Fig4Config, uniform bool, format fig4Format) e
 	if err != nil {
 		return err
 	}
-	if format == fig4JSON {
+	if format == formatJSON {
 		return res.WriteJSON(w)
 	}
 	rows, err := o2.Fig4Rows(cfg, res)
 	if err != nil {
 		return err
 	}
-	if format == fig4CSV {
+	if format == formatCSV {
 		o2.WriteFig4CSV(w, rows)
 		return nil
 	}
 	o2.WriteFig4Table(w, title, rows)
 	return nil
+}
+
+// kvFlags parses the kv subcommand's flags.
+func kvFlags(args []string) (o2.KVConfig, outFormat, error) {
+	fs := flag.NewFlagSet("kv", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sweep (Tiny8 machine, kilobyte-scale store)")
+	seed := fs.Uint64("seed", 1, "base RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-cell sweep results")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all host CPUs)")
+	repeats := fs.Int("repeats", 1, "measurements per grid cell (mean/stddev reported)")
+	if err := fs.Parse(args); err != nil {
+		return o2.KVConfig{}, formatTable, err
+	}
+	cfg := o2.DefaultKVConfig()
+	if *quick {
+		cfg = o2.QuickKVConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Repeats = *repeats
+	cfg.Progress = os.Stderr
+	format, err := parseFormat(*jsonOut, *csv)
+	if err != nil {
+		return o2.KVConfig{}, formatTable, err
+	}
+	return cfg, format, nil
+}
+
+// emitKV runs the KVService sweep and renders it to w. Split from runKV
+// so the golden test can pin the -json schema on a reduced configuration.
+func emitKV(w io.Writer, cfg o2.KVConfig, format outFormat) error {
+	cfg, sweep := o2.KVSweep(cfg)
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case formatJSON:
+		return res.WriteJSON(w)
+	case formatCSV:
+		o2.WriteKVCSV(w, res)
+		return nil
+	}
+	title := fmt.Sprintf("KVService: sharded key-value store on %s (%d shards × %d KB, %d keys)",
+		cfg.Machine.Name(), cfg.Spec.Shards, cfg.Spec.ShardBytes()/1024, cfg.Spec.Keys)
+	o2.WriteKVTable(w, title, res)
+	return nil
+}
+
+func runKV(args []string) error {
+	cfg, format, err := kvFlags(args)
+	if err != nil {
+		return err
+	}
+	return emitKV(os.Stdout, cfg, format)
 }
 
 func runFig4(args []string, uniform bool) error {
@@ -303,6 +382,10 @@ func runAll(args []string) error {
 	}
 	fmt.Println()
 	if err := runFig4(args, false); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runKV(args); err != nil {
 		return err
 	}
 	fmt.Println()

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/o2"
@@ -37,7 +38,7 @@ func goldenFig4Config() o2.Fig4Config {
 // -run TestFig4JSONGolden -update` and review the diff.
 func TestFig4JSONGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := emitFig4(&buf, goldenFig4Config(), true, fig4JSON); err != nil {
+	if err := emitFig4(&buf, goldenFig4Config(), true, formatJSON); err != nil {
 		t.Fatal(err)
 	}
 
@@ -64,7 +65,7 @@ func TestFig4JSONWorkerInvariance(t *testing.T) {
 	cfg := goldenFig4Config()
 	cfg.Workers = 1
 	var buf bytes.Buffer
-	if err := emitFig4(&buf, cfg, true, fig4JSON); err != nil {
+	if err := emitFig4(&buf, cfg, true, formatJSON); err != nil {
 		t.Fatal(err)
 	}
 	want, err := os.ReadFile(filepath.Join("testdata", "fig4_tiny.json"))
@@ -76,18 +77,103 @@ func TestFig4JSONWorkerInvariance(t *testing.T) {
 	}
 }
 
+// goldenKVConfig is a reduced, fully deterministic KVService sweep:
+// Tiny8 machine, a kilobyte-scale store, two mixes × two skews × all
+// four placement policies, two repeats. It exists to pin the
+// `o2bench kv -json` output schema and the load generator's determinism
+// contract, not to reproduce full-scale numbers.
+func goldenKVConfig() o2.KVConfig {
+	cfg := o2.QuickKVConfig()
+	cfg.Spec = o2.KVSpec{Shards: 8, SlotsPerShard: 64, SlotBytes: 64, Keys: 1 << 12}
+	cfg.Load = o2.KVLoad{Clients: 8, OpsPerClient: 150}
+	cfg.Skews = []float64{0, 0.99}
+	cfg.Repeats = 2
+	cfg.Workers = 4
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestKVJSONGolden pins the o2bench kv -json sweep schema and values. If
+// the schema or the simulation changes intentionally, regenerate with
+// `go test ./cmd/o2bench -run TestKVJSONGolden -update` and review the
+// diff.
+func TestKVJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitKV(&buf, goldenKVConfig(), formatJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "kv_tiny.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("o2bench kv -json output drifted from %s.\nGot:\n%s\nWant:\n%s\nIf intentional, rerun with -update and review.",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestKVJSONWorkerInvariance reruns the golden KV sweep at -workers 1
+// and at -workers NumCPU and checks both byte streams match the golden
+// file exactly: the KVService load generator's determinism contract —
+// results are a pure function of the grid, never of the host.
+func TestKVJSONWorkerInvariance(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "kv_tiny.json"))
+	if err != nil {
+		t.Skip("golden file missing; TestKVJSONGolden generates it")
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		cfg := goldenKVConfig()
+		cfg.Workers = workers
+		var buf bytes.Buffer
+		if err := emitKV(&buf, cfg, formatJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("-workers=%d JSON differs from the golden (-workers=4) output", workers)
+		}
+	}
+}
+
+// TestKVTableSmoke checks the kv table and CSV renderers on the same
+// sweep path.
+func TestKVTableSmoke(t *testing.T) {
+	cfg := goldenKVConfig()
+	var table, csv bytes.Buffer
+	if err := emitKV(&table, cfg, formatTable); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"policy", "kops/sec", "coretime+repl", "±"} {
+		if !bytes.Contains(table.Bytes(), []byte(want)) {
+			t.Errorf("kv table output missing %q:\n%s", want, table.String())
+		}
+	}
+	if err := emitKV(&csv, cfg, formatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(csv.Bytes(), []byte("kops_per_sec,kops_stddev")) {
+		t.Errorf("kv csv header drifted:\n%s", csv.String())
+	}
+}
+
 // TestFig4TableSmoke checks the human-readable formats still render from
 // the same sweep path.
 func TestFig4TableSmoke(t *testing.T) {
 	cfg := goldenFig4Config()
 	var table, csv bytes.Buffer
-	if err := emitFig4(&table, cfg, true, fig4Table); err != nil {
+	if err := emitFig4(&table, cfg, true, formatTable); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(table.Bytes(), []byte("without-CT")) || !bytes.Contains(table.Bytes(), []byte("±")) {
 		t.Errorf("table output missing headers or repeat stddev:\n%s", table.String())
 	}
-	if err := emitFig4(&csv, cfg, true, fig4CSV); err != nil {
+	if err := emitFig4(&csv, cfg, true, formatCSV); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(csv.Bytes(), []byte("stddev_with_ct")) {

@@ -1,20 +1,23 @@
-// Kvstore: O2 scheduling beyond the file system. A sharded in-memory
-// key-value store runs on the simulated machine: each shard (a hash-bucket
-// region) is a CoreTime object; point reads, range scans, and writes are
-// operations. Everything goes through the public repro/o2 façade.
+// Kvstore: O2 scheduling beyond the file system, now as a thin caller of
+// the o2.KVService scenario. A sharded in-memory key-value store runs on
+// the simulated machine; point gets, full-shard range scans, and puts
+// arrive from closed-loop clients drawing keys from a Zipf popularity
+// distribution. Each shard-placement policy is one o2.KVPolicy — a named
+// bundle of runtime options — so the whole comparison is: build a
+// runtime per policy, build the store, run the load.
 //
-// The workload mixes two access patterns that pull CoreTime in opposite
-// directions:
+// The workload mixes two access patterns that pull placement policies in
+// opposite directions:
 //
-//   - range scans read a whole shard: placement wins (scan the shard where
-//     it is cached instead of pulling it through the interconnect);
-//   - point reads hammer one hot shard: placement loses (every read
-//     funnels through one core), and the §6.2 read-only replication
+//   - range scans read a whole shard: placement wins (scan the shard
+//     where it is cached instead of pulling it through the interconnect);
+//   - skewed point reads hammer hot shards: placement loses (reads
+//     funnel through one core), and the §6.2 read-only replication
 //     extension resolves the tension by giving each chip its own copy.
 //
 // Run with:
 //
-//	go run ./examples/kvstore [-shards N] [-scans 0.4] [-puts 0.01]
+//	go run ./examples/kvstore [-shards N] [-scans 0.4] [-puts 0.01] [-skew 0.99]
 package main
 
 import (
@@ -25,143 +28,47 @@ import (
 	"repro/o2"
 )
 
-const (
-	shardBytes = 8 << 10 // 128 slots × 64 B
-	slotBytes  = 64
-)
-
-// store is a toy sharded hash map living in simulated memory. Keys are
-// uint64; each shard is a contiguous array of 64-byte slots registered as
-// one CoreTime object.
-type store struct {
-	shards []*o2.Object
-}
-
-func newStore(rt *o2.Runtime, shards int) (*store, error) {
-	s := &store{}
-	for i := 0; i < shards; i++ {
-		obj, err := rt.NewObject(fmt.Sprintf("shard%02d", i), shardBytes)
-		if err != nil {
-			return nil, err
-		}
-		s.shards = append(s.shards, obj)
-	}
-	return s, nil
-}
-
-func (s *store) shardOf(key uint64) *o2.Object {
-	return s.shards[int(key%uint64(len(s.shards)))]
-}
-
-// slotAddr picks the slot within the shard by open addressing on the key.
-func (s *store) slotAddr(obj *o2.Object, key uint64) o2.Addr {
-	slots := uint64(obj.Size() / slotBytes)
-	return obj.Addr(int((key / uint64(len(s.shards)) % slots) * slotBytes))
-}
-
-// get probes a run of collision slots (open addressing) and
-// deserializes the value.
-func (s *store) get(t *o2.Thread, key uint64) {
-	obj := s.shardOf(key)
-	a := s.slotAddr(obj, key)
-	probe := 8 * slotBytes
-	if a+o2.Addr(probe) > obj.Addr(obj.Size()) {
-		a = obj.Addr(obj.Size() - probe)
-	}
-	t.Load(a, probe)
-	t.Compute(160) // compare keys + deserialize value
-}
-
-// scan reads the whole shard (a range query over its slots).
-func (s *store) scan(t *o2.Thread, obj *o2.Object) {
-	t.LoadCompute(obj.Addr(0), obj.Size(), 0.03)
-}
-
-// put writes the slot.
-func (s *store) put(t *o2.Thread, key uint64) {
-	obj := s.shardOf(key)
-	t.Store(s.slotAddr(obj, key), slotBytes)
-	t.Compute(30)
-}
-
 func main() {
 	shards := flag.Int("shards", 16, "number of shards")
 	scans := flag.Float64("scans", 0.4, "fraction of ops that are full-shard range scans")
 	puts := flag.Float64("puts", 0.01, "fraction of ops that are writes")
-	opsPer := flag.Int("ops", 3000, "operations per client thread")
+	skew := flag.Float64("skew", 0.99, "Zipf key-popularity skew (0 = uniform)")
+	opsPer := flag.Int("ops", 600, "operations per client thread")
 	flag.Parse()
 
-	fmt.Printf("kvstore: %d shards × %d KB; %.0f%% point reads on the hot shard, %.0f%% range scans, %.1f%% writes\n\n",
-		*shards, shardBytes/1024, (1-*scans-*puts)*100, *scans*100, *puts*100)
-
-	// KV operations touch few lines compared to directory scans, so the
-	// "expensive to fetch" threshold is lowered accordingly.
-	plain := []o2.Option{o2.WithMissThreshold(3)}
-	replicated := append(plain[:len(plain):len(plain)],
-		o2.WithReplication(true),
-		o2.WithReplicationThreshold(24, 0.90),
-	)
-
-	kopsBase := run(*shards, *scans, *puts, *opsPer, o2.WithScheduler(o2.Baseline))
-	kopsPlain := run(*shards, *scans, *puts, *opsPer, plain...)
-	kopsRepl := run(*shards, *scans, *puts, *opsPer, replicated...)
-
-	fmt.Printf("%-34s %10s\n", "configuration", "kops/sec")
-	fmt.Printf("%-34s %10.0f\n", "thread scheduler", kopsBase)
-	fmt.Printf("%-34s %10.0f\n", "coretime", kopsPlain)
-	fmt.Printf("%-34s %10.0f\n", "coretime + read-only replication", kopsRepl)
-	fmt.Printf("\nreplication speedup over plain coretime: %.2fx\n", kopsRepl/kopsPlain)
-}
-
-func run(shards int, scans, puts float64, opsPer int, opts ...o2.Option) float64 {
-	rt, err := o2.New(append([]o2.Option{o2.WithTopology(o2.Tiny8)}, opts...)...)
-	if err != nil {
-		log.Fatal(err)
+	spec := o2.KVSpec{Shards: *shards, SlotsPerShard: 128, SlotBytes: 64, Keys: 1 << 16}
+	load := o2.KVLoad{
+		OpsPerClient: *opsPer,
+		Mix:          o2.KVMix{Gets: 1 - *scans - *puts, Scans: *scans, Puts: *puts},
+		Skew:         *skew,
+		Seed:         7,
 	}
-	st, err := newStore(rt, shards)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("kvstore: %d shards × %d KB, %d keys; mix %s at Zipf skew %.2f\n\n",
+		spec.Shards, spec.ShardBytes()/1024, spec.Keys, load.Mix.Label(), load.Skew)
+
+	fmt.Printf("%-34s %10s %10s %8s\n", "placement policy", "kops/sec", "cyc/op", "hit%")
+	results := map[o2.KVPolicy]o2.KVResult{}
+	for _, policy := range o2.KVPolicies() {
+		opts := append([]o2.Option{o2.WithTopology(o2.Tiny8), o2.WithSeed(7)}, policy.Options()...)
+		rt, err := o2.New(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := rt.NewKVService(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := svc.Run(load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[policy] = res
+		fmt.Printf("%-34s %10.0f %10.0f %8.1f\n",
+			policy.String(), res.KOpsPerSec, res.CyclesPerOp, 100*res.CacheHitRate)
 	}
 
-	workers := rt.NumCores()
-	var done o2.Time
-	master := o2.NewRNG(7)
-	for w := 0; w < workers; w++ {
-		rng := master.Split()
-		rt.Go(fmt.Sprintf("client %d", w), w, func(t *o2.Thread) {
-			for i := 0; i < opsPer; i++ {
-				r := rng.Float64()
-				switch {
-				case r < puts:
-					// Point write to a random shard.
-					key := rng.Uint64()
-					op := t.Begin(st.shardOf(key))
-					st.put(t, key)
-					op.End()
-				case r < puts+scans:
-					// Range scan over a random shard: reads the
-					// whole shard and never writes it.
-					obj := st.shards[rng.Intn(shards)]
-					op := t.BeginRO(obj)
-					st.scan(t, obj)
-					op.End()
-				default:
-					// Point read on the hot shard.
-					key := rng.Uint64() * uint64(shards) // ≡ 0 mod shards
-					op := t.BeginRO(st.shardOf(key))
-					st.get(t, key)
-					op.End()
-				}
-				t.Yield()
-			}
-			if t.Now() > done {
-				done = t.Now()
-			}
-		})
-	}
-	rt.Run()
-
-	total := float64(workers * opsPer)
-	seconds := float64(done) / rt.ClockHz()
-	return total / seconds / 1000
+	repl, ct := results[o2.KVCoreTimeReplicated], results[o2.KVCoreTime]
+	base := results[o2.KVThreadScheduler]
+	fmt.Printf("\ncoretime speedup over thread scheduler:    %.2fx\n", ct.KOpsPerSec/base.KOpsPerSec)
+	fmt.Printf("replication speedup over thread scheduler: %.2fx\n", repl.KOpsPerSec/base.KOpsPerSec)
 }

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestHashAffinityCoreOfIsDeterministicAndInRange(t *testing.T) {
+	f := func(addr uint64, rawCores uint8) bool {
+		cores := int(rawCores%64) + 1
+		h := NewHashAffinity(cores)
+		c := h.CoreOf(mem.Addr(addr))
+		return c >= 0 && c < cores && c == h.CoreOf(mem.Addr(addr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashAffinitySpreadsObjects(t *testing.T) {
+	// 4096 page-aligned addresses over 8 cores: every core should own a
+	// healthy share (the hash must not collapse on aligned addresses).
+	h := NewHashAffinity(8)
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		counts[h.CoreOf(mem.Addr(i*4096))]++
+	}
+	for c, n := range counts {
+		if n < 256 { // expectation 512; 256 is far outside uniform noise
+			t.Errorf("core %d owns %d/4096 objects; hash is collapsing", c, n)
+		}
+	}
+}
+
+func TestHashAffinityMigratesForOperations(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := machine.New(topology.Tiny8(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
+	h := NewHashAffinity(m.Config().NumCores())
+
+	objA, objB := mem.Addr(1<<14), mem.Addr(1<<15)
+	wantA, wantB := h.CoreOf(objA), h.CoreOf(objB)
+	var at [4]int
+	sys.Go("w", 0, func(th *exec.Thread) {
+		h.OpStart(th, objA)
+		at[0] = th.Core()
+		// Nested operation on a different object: runs in place.
+		h.OpStart(th, objB)
+		at[1] = th.Core()
+		h.OpEnd(th)
+		h.OpEnd(th)
+		at[2] = th.Core() // stays at the object's core after the op
+		h.OpStart(th, objB)
+		at[3] = th.Core()
+		h.OpEnd(th)
+	})
+	eng.Run(0)
+
+	if at[0] != wantA {
+		t.Errorf("during op on A: core %d, want %d", at[0], wantA)
+	}
+	if at[1] != wantA {
+		t.Errorf("nested op migrated to core %d; nested ops must run in place", at[1])
+	}
+	if at[2] != wantA {
+		t.Errorf("after op: core %d, want to stay on %d", at[2], wantA)
+	}
+	if at[3] != wantB {
+		t.Errorf("second op on B: core %d, want %d", at[3], wantB)
+	}
+	if wantA != 0 {
+		if migs := m.Counters().Snapshot(wantA).MigrationsIn; migs == 0 {
+			t.Error("no migration recorded into the object's core")
+		}
+	}
+}
+
+func TestHashAffinitySkipsMigrationWhenAlreadyThere(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := machine.New(topology.Tiny8(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := exec.NewSystem(eng, m, exec.DefaultOptions())
+	h := NewHashAffinity(m.Config().NumCores())
+
+	obj := mem.Addr(1 << 14)
+	home := h.CoreOf(obj)
+	sys.Go("w", home, func(th *exec.Thread) {
+		h.OpStart(th, obj)
+		h.OpEnd(th)
+	})
+	eng.Run(0)
+	if eng.Now() != 0 {
+		t.Errorf("operation from the object's own core consumed %d cycles", eng.Now())
+	}
+	if migs := m.Counters().Snapshot(home).MigrationsIn; migs != 0 {
+		t.Errorf("recorded %d migrations for an already-placed thread", migs)
+	}
+}

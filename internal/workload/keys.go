@@ -1,0 +1,136 @@
+package workload
+
+// Key-stream helpers for service-style scenarios: deterministic shard and
+// slot addressing for hash-partitioned stores, and the Zipf popularity
+// generator the KVService load generator draws keys from.
+//
+// The addressing contract, relied on by the o2.KVService scenario and its
+// property tests:
+//
+//   - ShardOf splits a dense key range evenly: over any contiguous range
+//     of keys the shard counts differ by at most one.
+//   - SlotOf never indexes out of bounds and depends on every bit of the
+//     key, so skewed or structured key streams (sequential keys, keys that
+//     are multiples of the shard count) still spread over a shard's slots.
+//   - SlotOf is a function of the key and the slot count alone: changing
+//     the shard count never moves a key to a different slot within its
+//     shard.
+//
+// The last two properties are exactly what the naive stripe
+// (key/shards)%slots lacks: it collapses every key below the shard count
+// onto slot 0 — with shards ≥ slots a whole dense key range crowds into
+// the low slots — and re-shuffles all slots whenever the shard count
+// changes.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// ShardOf returns the shard owning key among shards partitions. Dense key
+// ranges balance to within one key per shard. It panics when shards <= 0.
+func ShardOf(key uint64, shards int) int {
+	if shards <= 0 {
+		panic(fmt.Sprintf("workload: ShardOf with %d shards", shards))
+	}
+	return int(key % uint64(shards))
+}
+
+// SlotOf returns the slot of key within its shard's slots-entry table. The
+// key is avalanched through the SplitMix64 finalizer first, so every bit
+// of the key contributes: structured key streams do not collapse onto a
+// few slots, and the slot does not depend on the shard count. It panics
+// when slots <= 0.
+func SlotOf(key uint64, slots int) int {
+	if slots <= 0 {
+		panic(fmt.Sprintf("workload: SlotOf with %d slots", slots))
+	}
+	// DeriveSeed with no strata is exactly one SplitMix64 finalizer pass.
+	return int(stats.DeriveSeed(key) % uint64(slots))
+}
+
+// Zipf is a deterministic Zipf(s) popularity distribution over the ranks
+// [0, n): rank r is drawn with probability proportional to 1/(r+1)^s.
+// Skew 0 degrades to the uniform distribution. The generator owns no RNG
+// state — callers pass their own *stats.RNG to Next — so one table can be
+// shared by many client threads, each with a private seed, and a run is
+// reproducible from those seeds alone.
+type Zipf struct {
+	n    int
+	skew float64
+	// cdf[r] is the cumulative probability of ranks 0..r; nil when the
+	// distribution is uniform (skew 0).
+	cdf []float64
+}
+
+// NewZipf builds the distribution table for n ranks at the given skew
+// (s >= 0; 0 means uniform). Building is O(n); drawing is O(1) uniform or
+// O(log n) skewed.
+func NewZipf(n int, skew float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: Zipf needs a positive rank count, got %d", n)
+	}
+	if math.IsNaN(skew) || math.IsInf(skew, 0) || skew < 0 {
+		return nil, fmt.Errorf("workload: Zipf skew %v must be finite and non-negative", skew)
+	}
+	z := &Zipf{n: n, skew: skew}
+	if skew == 0 {
+		return z, nil
+	}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += math.Pow(float64(r+1), -skew)
+		z.cdf[r] = sum
+	}
+	for r := range z.cdf {
+		z.cdf[r] /= sum
+	}
+	z.cdf[n-1] = 1 // close the table against rounding
+	return z, nil
+}
+
+// MustZipf is NewZipf, panicking on error; for tables built from validated
+// configuration.
+func MustZipf(n int, skew float64) *Zipf {
+	z, err := NewZipf(n, skew)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Skew returns the distribution's skew parameter.
+func (z *Zipf) Skew() float64 { return z.skew }
+
+// Mass returns the analytic probability of rank (0-based). It panics when
+// rank is out of range.
+func (z *Zipf) Mass(rank int) float64 {
+	if rank < 0 || rank >= z.n {
+		panic(fmt.Sprintf("workload: Zipf.Mass rank %d out of [0, %d)", rank, z.n))
+	}
+	if z.cdf == nil {
+		return 1 / float64(z.n)
+	}
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
+// Next draws the next rank using rng. At skew 0 it is exactly
+// rng.Intn(N()): the skew axis degrades continuously to the uniform
+// workload everything else in the repository uses.
+func (z *Zipf) Next(rng *stats.RNG) int {
+	if z.cdf == nil {
+		return rng.Intn(z.n)
+	}
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// TestShardSlotAddressingProperties drives the addressing contract with
+// testing/quick: no out-of-bounds shard or slot for any key, and the slot
+// a key lands on within its shard never depends on the shard count.
+func TestShardSlotAddressingProperties(t *testing.T) {
+	f := func(key uint64, rawShards, rawSlots, rawShards2 uint16) bool {
+		shards := int(rawShards%512) + 1
+		shards2 := int(rawShards2%512) + 1
+		slots := int(rawSlots%512) + 1
+
+		s := ShardOf(key, shards)
+		if s < 0 || s >= shards {
+			return false
+		}
+		v := SlotOf(key, slots)
+		if v < 0 || v >= slots {
+			return false
+		}
+		// Slot addressing is independent of the shard count: resizing the
+		// shard ring never moves a key within its shard's table.
+		_ = ShardOf(key, shards2)
+		return SlotOf(key, slots) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardBalanceWithinOne checks that any dense key range splits across
+// shards with per-shard counts differing by at most one.
+func TestShardBalanceWithinOne(t *testing.T) {
+	f := func(rawStart uint32, rawShards, rawKeys uint16) bool {
+		shards := int(rawShards%128) + 1
+		keys := int(rawKeys%4096) + 1
+		start := uint64(rawStart)
+
+		counts := make([]int, shards)
+		for k := 0; k < keys; k++ {
+			counts[ShardOf(start+uint64(k), shards)]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlotOfSpreadsStructuredKeys pins the fix for the kvstore example's
+// addressing bug: with the naive stripe (key/shards)%slots, every key
+// below the shard count lands on slot 0, so a dense key range under
+// shards >= slots crowds into the low slots. SlotOf must spread exactly
+// that key stream over the whole table.
+func TestSlotOfSpreadsStructuredKeys(t *testing.T) {
+	const shards, slots = 256, 64 // shards >= slots: the collapsing regime
+	naive := func(key uint64) int { return int(key / shards % slots) }
+
+	naiveSeen := map[int]bool{}
+	fixedSeen := map[int]bool{}
+	for key := uint64(0); key < shards; key++ { // dense keys, one per shard
+		naiveSeen[naive(key)] = true
+		fixedSeen[SlotOf(key, slots)] = true
+	}
+	if len(naiveSeen) != 1 {
+		t.Fatalf("premise broken: naive stripe used %d slots, expected the single-slot collapse", len(naiveSeen))
+	}
+	if len(fixedSeen) < slots/2 {
+		t.Errorf("SlotOf used only %d/%d slots on a dense key range", len(fixedSeen), slots)
+	}
+
+	// Keys that are multiples of the shard count (the example's hot-shard
+	// stream) must spread too.
+	fixedSeen = map[int]bool{}
+	for i := uint64(0); i < 4*slots; i++ {
+		fixedSeen[SlotOf(i*shards, slots)] = true
+	}
+	if len(fixedSeen) < slots/2 {
+		t.Errorf("SlotOf used only %d/%d slots on a multiple-of-shards stream", len(fixedSeen), slots)
+	}
+}
+
+// TestZipfTable is the table-driven contract of the Zipf generator:
+// seed-reproducibility, the uniform degradation at skew 0, and agreement
+// of the empirical top-rank frequency with the analytic mass.
+func TestZipfTable(t *testing.T) {
+	const samples = 200_000
+	cases := []struct {
+		name string
+		n    int
+		skew float64
+	}{
+		{"uniform tiny", 4, 0},
+		{"uniform wide", 1000, 0},
+		{"mild skew", 100, 0.5},
+		{"classic zipf", 1000, 0.99},
+		{"heavy skew", 64, 1.5},
+		{"single rank", 1, 2.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z := MustZipf(tc.n, tc.skew)
+
+			// Seed-reproducibility: identical seeds give identical draw
+			// sequences; a different seed diverges (unless n == 1).
+			a, b := stats.NewRNG(11), stats.NewRNG(11)
+			c := stats.NewRNG(12)
+			diverged := false
+			for i := 0; i < 512; i++ {
+				va, vb, vc := z.Next(a), z.Next(b), z.Next(c)
+				if va != vb {
+					t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, va, vb)
+				}
+				if va != vc {
+					diverged = true
+				}
+			}
+			if tc.n > 1 && !diverged {
+				t.Error("distinct seeds produced identical 512-draw sequences")
+			}
+
+			// Skew 0 must degrade to exactly the uniform generator.
+			if tc.skew == 0 {
+				zr, ur := stats.NewRNG(7), stats.NewRNG(7)
+				for i := 0; i < 512; i++ {
+					if got, want := z.Next(zr), ur.Intn(tc.n); got != want {
+						t.Fatalf("draw %d: skew-0 Zipf %d != uniform %d", i, got, want)
+					}
+				}
+			}
+
+			// Masses are a probability distribution.
+			sum := 0.0
+			for r := 0; r < tc.n; r++ {
+				sum += z.Mass(r)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("masses sum to %v, want 1", sum)
+			}
+
+			// The empirical top-rank frequency matches the analytic mass:
+			// binomial stddev is sqrt(p(1-p)/samples) < 0.12%, so a 1%
+			// absolute + 5% relative tolerance is far beyond noise.
+			rng := stats.NewRNG(99)
+			hits := 0
+			for i := 0; i < samples; i++ {
+				if z.Next(rng) == 0 {
+					hits++
+				}
+			}
+			got := float64(hits) / samples
+			want := z.Mass(0)
+			if diff := math.Abs(got - want); diff > 0.01+0.05*want {
+				t.Errorf("top-rank frequency %.4f, analytic mass %.4f (diff %.4f)", got, want, diff)
+			}
+		})
+	}
+}
+
+// TestZipfRejectsInvalidConfig covers the constructor's validation.
+func TestZipfRejectsInvalidConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		skew float64
+	}{
+		{"zero ranks", 0, 1},
+		{"negative ranks", -3, 1},
+		{"negative skew", 10, -0.5},
+		{"NaN skew", 10, math.NaN()},
+		{"infinite skew", 10, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewZipf(tc.n, tc.skew); err == nil {
+				t.Errorf("NewZipf(%d, %v) accepted invalid config", tc.n, tc.skew)
+			}
+		})
+	}
+}
+
+// TestZipfDrawsInRange checks every draw stays inside [0, n) across skews,
+// including the boundary-heavy small-n cases.
+func TestZipfDrawsInRange(t *testing.T) {
+	f := func(rawN uint16, rawSkew uint8, seed uint64) bool {
+		n := int(rawN%256) + 1
+		skew := float64(rawSkew) / 64 // [0, ~4)
+		z := MustZipf(n, skew)
+		rng := stats.NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			if r := z.Next(rng); r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -116,14 +116,25 @@ const (
 	// their home cores and caches fill implicitly (the paper's
 	// "without CoreTime" configuration).
 	Baseline
+	// Affinity is static hash-affinity pinning: every object is assigned
+	// a fixed core by hashing its address and threads migrate there for
+	// each operation. It serializes object access onto one core like
+	// CoreTime but does no monitoring, packing, or rebalancing — the
+	// consistent-hashing placement a conventional sharded service
+	// deploys, and the middle baseline of the KVService scenario.
+	Affinity
 )
 
 // String implements fmt.Stringer, matching Result.Scheduler values.
 func (s Scheduler) String() string {
-	if s == Baseline {
+	switch s {
+	case Baseline:
 		return "thread-scheduler"
+	case Affinity:
+		return "hash-affinity"
+	default:
+		return "coretime"
 	}
-	return "coretime"
 }
 
 // Replacement selects what CoreTime does when the working set no longer

@@ -48,7 +48,7 @@ func WithTopology(t Topology) Option {
 // WithScheduler selects the scheduling policy (default CoreTime).
 func WithScheduler(sched Scheduler) Option {
 	return func(s *settings) {
-		if sched != CoreTime && sched != Baseline {
+		if sched != CoreTime && sched != Baseline && sched != Affinity {
 			s.errorf("o2: unknown scheduler %d", sched)
 			return
 		}

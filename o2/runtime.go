@@ -90,10 +90,13 @@ func (rt *Runtime) ensure(minImage int) error {
 	rt.eng = sim.NewEngineSeeded(rt.set.seed)
 	rt.mach = m
 	rt.sys = exec.NewSystem(rt.eng, m, rt.set.exec)
-	if rt.set.sched == CoreTime {
+	switch rt.set.sched {
+	case CoreTime:
 		rt.ct = core.New(rt.sys, rt.set.ct)
 		rt.ann = rt.ct
-	} else {
+	case Affinity:
+		rt.ann = sched.NewHashAffinity(rt.set.topo.NumCores())
+	default:
 		rt.ann = sched.ThreadScheduler{}
 	}
 	return nil
@@ -116,8 +119,8 @@ func (rt *Runtime) annStartRO(t *exec.Thread, o *Object) {
 // Scheduler returns the configured scheduling policy.
 func (rt *Runtime) Scheduler() Scheduler { return rt.set.sched }
 
-// SchedulerName returns the scheduler's report name ("coretime" or
-// "thread-scheduler"), matching Result.Scheduler.
+// SchedulerName returns the scheduler's report name ("coretime",
+// "thread-scheduler", or "hash-affinity"), matching Result.Scheduler.
 func (rt *Runtime) SchedulerName() string { return rt.set.sched.String() }
 
 // Topology returns the machine description the runtime models.

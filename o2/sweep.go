@@ -168,7 +168,9 @@ type Cell struct {
 	// Machine is the simulated topology; the zero value means AMD16.
 	Machine Topology
 	// Scheduler is the scheduling policy (default CoreTime). It is
-	// authoritative: standard runners apply it after Options.
+	// authoritative: standard runners (DirLookupCell, KVCell) apply it
+	// after Options. Axes that select schedulers (SchedulerAxis,
+	// PolicyAxis) set this field.
 	Scheduler Scheduler
 	// Tree sizes the directory-lookup workload for runners that build
 	// one (DirLookupCell).
@@ -176,6 +178,11 @@ type Cell struct {
 	// Paths sizes the path-resolution workload for runners that build
 	// one.
 	Paths PathSpec
+	// KV sizes the key-value store for the KV scenario runner (KVCell).
+	KV KVSpec
+	// Load drives the KV load generator for KVCell; the engine installs
+	// the cell seed as its Seed.
+	Load KVLoad
 	// Params drive the measurement; zero fields are defaulted as in
 	// Experiment.Run.
 	Params RunParams
