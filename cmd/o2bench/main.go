@@ -15,13 +15,16 @@
 //	o2bench kv [-quick] [-seed N] [-workers N] [-repeats N] [-json]
 //	                                    KVService scenario: shard-placement
 //	                                    policies under Zipf load mixes
+//	o2bench web [-quick] [-seed N] [-workers N] [-repeats N] [-json]
+//	                                    WebService scenario: open-loop tail
+//	                                    latency under compaction interference
 //	o2bench latency                     §5 latency table
 //	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
 //	o2bench ablation -exp=NAME          clustering|replication|replacement|
 //	                                    migcost|hetero|paths|single|all
 //	o2bench all [-quick]                everything above
 //
-// The fig4 and kv sweeps run on the o2.Sweep engine: -workers bounds the worker
+// The fig4, kv, and web sweeps run on the o2.Sweep engine: -workers bounds the worker
 // pool (default: all host CPUs), -repeats measures every grid cell that
 // many times with distinct derived seeds and reports mean±stddev, and
 // -json emits the machine-readable per-cell sweep results (schema pinned
@@ -113,6 +116,8 @@ func run(cmd string, args []string) error {
 		return runFig2(args)
 	case "kv":
 		return runKV(args)
+	case "web":
+		return runWeb(args)
 	case "latency":
 		return runLatency()
 	case "migration":
@@ -145,6 +150,9 @@ func usage() {
                                      Figure 2: cache-contents maps
   o2bench kv [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
                                      KVService scenario: placement policies on a sharded store
+  o2bench web [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
+                                     WebService scenario: open-loop request latency tails
+                                     under background compaction interference
   o2bench latency                    hardware latency table (§5)
   o2bench migration [-trials N]      migration cost microbenchmark (§5)
   o2bench ablation -exp=NAME         clustering|replication|replacement|migcost|hetero|paths|single|all
@@ -286,6 +294,63 @@ func runKV(args []string) error {
 	return emitKV(os.Stdout, cfg, format)
 }
 
+// webFlags parses the web subcommand's flags.
+func webFlags(args []string) (o2.WebConfig, outFormat, error) {
+	fs := flag.NewFlagSet("web", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sweep (Tiny8 machine, kilobyte-scale document tree)")
+	seed := fs.Uint64("seed", 1, "base RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-cell sweep results")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all host CPUs)")
+	repeats := fs.Int("repeats", 1, "measurements per grid cell (mean/stddev reported)")
+	if err := fs.Parse(args); err != nil {
+		return o2.WebConfig{}, formatTable, err
+	}
+	cfg := o2.DefaultWebConfig()
+	if *quick {
+		cfg = o2.QuickWebConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Repeats = *repeats
+	cfg.Progress = os.Stderr
+	format, err := parseFormat(*jsonOut, *csv)
+	if err != nil {
+		return o2.WebConfig{}, formatTable, err
+	}
+	return cfg, format, nil
+}
+
+// emitWeb runs the WebService sweep and renders it to w. Split from
+// runWeb so the golden test can pin the -json schema on a reduced
+// configuration.
+func emitWeb(w io.Writer, cfg o2.WebConfig, format outFormat) error {
+	cfg, sweep := o2.WebSweep(cfg)
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case formatJSON:
+		return res.WriteJSON(w)
+	case formatCSV:
+		o2.WriteWebCSV(w, res)
+		return nil
+	}
+	title := fmt.Sprintf("WebService: open-loop name resolution on %s (%d vhosts × %d files, %d KB of metadata)",
+		cfg.Machine.Name(), cfg.Spec.DocRoots, cfg.Spec.FilesPerRoot, cfg.Spec.MetadataBytes()/1024)
+	o2.WriteWebTable(w, title, res)
+	return nil
+}
+
+func runWeb(args []string) error {
+	cfg, format, err := webFlags(args)
+	if err != nil {
+		return err
+	}
+	return emitWeb(os.Stdout, cfg, format)
+}
+
 func runFig4(args []string, uniform bool) error {
 	cfg, format, err := fig4Flags(args)
 	if err != nil {
@@ -386,6 +451,10 @@ func runAll(args []string) error {
 	}
 	fmt.Println()
 	if err := runKV(args); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runWeb(args); err != nil {
 		return err
 	}
 	fmt.Println()

@@ -141,6 +141,94 @@ func TestKVJSONWorkerInvariance(t *testing.T) {
 	}
 }
 
+// goldenWebConfig is a reduced, fully deterministic WebService sweep:
+// Tiny8 machine, a small document tree, two arrival rates (one under and
+// one past saturation) × two compaction shares × all four placement
+// policies, two repeats. It exists to pin the `o2bench web -json` output
+// schema and the open-loop driver's determinism contract — arrival
+// schedules, queue/drop accounting, and merged latency histograms must be
+// a pure function of the grid — not to reproduce full-scale numbers.
+func goldenWebConfig() o2.WebConfig {
+	cfg := o2.QuickWebConfig()
+	cfg.Spec = o2.WebSpec{DocRoots: 8, FilesPerRoot: 64}
+	cfg.Load.Requests = 200
+	cfg.Rates = []float64{500_000, 4_000_000}
+	cfg.CompactionShares = []float64{0, 0.5}
+	cfg.Repeats = 2
+	cfg.Workers = 4
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestWebJSONGolden pins the o2bench web -json sweep schema and values.
+// If the schema or the simulation changes intentionally, regenerate with
+// `go test ./cmd/o2bench -run TestWebJSONGolden -update` and review the
+// diff.
+func TestWebJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitWeb(&buf, goldenWebConfig(), formatJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "web_tiny.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("o2bench web -json output drifted from %s.\nGot:\n%s\nWant:\n%s\nIf intentional, rerun with -update and review.",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestWebJSONWorkerInvariance reruns the golden web sweep at -workers 1
+// and at -workers NumCPU and checks both byte streams match the golden
+// file exactly: the open-loop driver's determinism contract — results are
+// a pure function of the grid, never of the host.
+func TestWebJSONWorkerInvariance(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "web_tiny.json"))
+	if err != nil {
+		t.Skip("golden file missing; TestWebJSONGolden generates it")
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		cfg := goldenWebConfig()
+		cfg.Workers = workers
+		var buf bytes.Buffer
+		if err := emitWeb(&buf, cfg, formatJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("-workers=%d JSON differs from the golden (-workers=4) output", workers)
+		}
+	}
+}
+
+// TestWebTableSmoke checks the web table and CSV renderers on the same
+// sweep path.
+func TestWebTableSmoke(t *testing.T) {
+	cfg := goldenWebConfig()
+	var table, csv bytes.Buffer
+	if err := emitWeb(&table, cfg, formatTable); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rps", "compaction", "policy", "p99 (cycles)", "coretime+repl", "±"} {
+		if !bytes.Contains(table.Bytes(), []byte(want)) {
+			t.Errorf("web table output missing %q:\n%s", want, table.String())
+		}
+	}
+	if err := emitWeb(&csv, cfg, formatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(csv.Bytes(), []byte("offered_krps,achieved_krps,drop_rate,p50_cycles")) {
+		t.Errorf("web csv header drifted:\n%s", csv.String())
+	}
+}
+
 // TestKVTableSmoke checks the kv table and CSV renderers on the same
 // sweep path.
 func TestKVTableSmoke(t *testing.T) {

@@ -269,6 +269,23 @@ func (t *Thread) LoadCompute(addr mem.Addr, size int, perByte float64) {
 	t.advance(lat + comp)
 }
 
+// IdleUntil suspends the thread until simulated time target, releasing its
+// current core for the duration: queued threads run meanwhile and the core
+// accrues idle (not busy) cycles. It returns immediately when target is not
+// in the future. This is how an open-loop service worker waits for the next
+// request arrival — unlike Yield it does not need other threads queued, and
+// unlike Compute it charges no work to the core.
+func (t *Thread) IdleUntil(target sim.Time) {
+	now := t.proc.Now()
+	if target <= now {
+		return
+	}
+	c := t.sys.cores[t.core]
+	c.release(t)
+	t.proc.Sleep(target - now)
+	c.acquire(t)
+}
+
 // Yield gives other threads queued on the current core a chance to run. If
 // nobody is waiting it costs nothing.
 func (t *Thread) Yield() {

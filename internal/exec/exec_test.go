@@ -351,3 +351,45 @@ func TestLoadComputeCombines(t *testing.T) {
 		t.Fatalf("LoadCompute took %d, want %d", elapsed, want)
 	}
 }
+
+func TestIdleUntilReleasesCore(t *testing.T) {
+	eng, s := newSys(t)
+	var waiterRan sim.Time
+	var wake sim.Time
+	s.Go("idler", 0, func(th *Thread) {
+		th.IdleUntil(10_000)
+		wake = th.Now()
+	})
+	s.Go("waiter", 0, func(th *Thread) {
+		// The idler releases core 0 while idle, so the waiter runs inside
+		// the idle window instead of after it.
+		th.Compute(500)
+		waiterRan = th.Now()
+	})
+	eng.Run(0)
+	if wake != 10_000 {
+		t.Errorf("idler woke at %d, want 10000", wake)
+	}
+	if waiterRan == 0 || waiterRan > 10_000 {
+		t.Errorf("waiter finished at %d; it should have run during the idle window", waiterRan)
+	}
+	// The idle window is idle, not busy: only the two Compute-free cycles
+	// counts were charged.
+	if busy := s.Machine().Counters().Snapshot(0).BusyCycles; busy != 500 {
+		t.Errorf("BusyCycles = %d, want 500 (idling must not charge work)", busy)
+	}
+}
+
+func TestIdleUntilPastTargetReturnsImmediately(t *testing.T) {
+	eng, s := newSys(t)
+	var end sim.Time
+	s.Go("worker", 0, func(th *Thread) {
+		th.Compute(100)
+		th.IdleUntil(50) // already in the past
+		end = th.Now()
+	})
+	eng.Run(0)
+	if end != 100 {
+		t.Errorf("IdleUntil(past) advanced time to %d, want 100", end)
+	}
+}

@@ -117,6 +117,21 @@ type Histogram struct {
 // NewHistogram builds a histogram with buckets (0, first], doubling up to
 // nbuckets-1 bounded buckets plus one overflow bucket.
 func NewHistogram(first float64, nbuckets int) *Histogram {
+	return NewHistogramGrowth(first, 2, nbuckets)
+}
+
+// NewHistogramGrowth builds a histogram whose bucket upper bounds grow
+// geometrically: first, first*growth, first*growth², …, for nbuckets-1
+// bounded buckets plus one overflow bucket. A growth just above 1 trades
+// memory for quantile resolution (the bound Quantile reports is at most
+// growth× the true value). Bounds are computed by repeated multiplication,
+// so equal (first, growth, nbuckets) give bit-identical bounds everywhere —
+// the property Merge's bounds check relies on.
+func NewHistogramGrowth(first, growth float64, nbuckets int) *Histogram {
+	if first <= 0 || growth <= 1 {
+		panic(fmt.Sprintf("stats: NewHistogramGrowth(%v, %v, %d): first must be positive and growth > 1",
+			first, growth, nbuckets))
+	}
 	if nbuckets < 2 {
 		nbuckets = 2
 	}
@@ -127,7 +142,7 @@ func NewHistogram(first float64, nbuckets int) *Histogram {
 	b := first
 	for i := range h.Bounds {
 		h.Bounds[i] = b
-		b *= 2
+		b *= growth
 	}
 	return h
 }
@@ -146,6 +161,30 @@ func (h *Histogram) Add(x float64) {
 
 // Total returns the number of recorded observations.
 func (h *Histogram) Total() int64 { return h.total }
+
+// Merge folds other's counts into h. The histograms must have identical
+// bucket bounds; mismatched bounds are rejected because summing counts
+// across different bucketings silently corrupts every quantile. Counts are
+// integers, so merging is exact, commutative, and associative — aggregating
+// per-worker recorders in any order yields the same histogram, which is what
+// keeps merged quantiles worker-count invariant.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(other.Bounds) != len(h.Bounds) {
+		return fmt.Errorf("stats: merging histogram with %d bounds into one with %d",
+			len(other.Bounds), len(h.Bounds))
+	}
+	for i, b := range h.Bounds {
+		if other.Bounds[i] != b {
+			return fmt.Errorf("stats: merging histograms with mismatched bounds at bucket %d: %v vs %v",
+				i, other.Bounds[i], b)
+		}
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.total += other.total
+	return nil
+}
 
 // Quantile returns an upper bound for the q-th quantile (0 < q <= 1) by
 // scanning bucket counts. The overflow bucket reports +Inf.

@@ -166,3 +166,94 @@ func TestHistogramEmpty(t *testing.T) {
 		t.Error("empty histogram quantile should be 0")
 	}
 }
+
+func TestHistogramGrowth(t *testing.T) {
+	h := NewHistogramGrowth(100, 1.5, 4) // bounds 100, 150, 225, +inf
+	want := []float64{100, 150, 100 * 1.5 * 1.5}
+	if len(h.Bounds) != len(want) || len(h.Counts) != 4 {
+		t.Fatalf("shape: %d bounds, %d counts", len(h.Bounds), len(h.Counts))
+	}
+	for i, b := range want {
+		if h.Bounds[i] != b {
+			t.Errorf("bound %d = %v, want %v", i, h.Bounds[i], b)
+		}
+	}
+	// Equal parameters must give bit-identical bounds: Merge's contract.
+	g := NewHistogramGrowth(100, 1.5, 4)
+	if err := g.Merge(h); err != nil {
+		t.Errorf("freshly built equal histograms failed to merge: %v", err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 5)
+	b := NewHistogram(10, 5)
+	for _, x := range []float64{1, 15, 30} {
+		a.Add(x)
+	}
+	for _, x := range []float64{5, 500} {
+		b.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 5 {
+		t.Errorf("merged total = %d, want 5", a.Total())
+	}
+	wantCounts := []int64{2, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if a.Counts[i] != w {
+			t.Errorf("merged bucket %d = %d, want %d", i, a.Counts[i], w)
+		}
+	}
+	// b is untouched by the merge.
+	if b.Total() != 2 || b.Counts[0] != 1 || b.Counts[4] != 1 {
+		t.Errorf("merge mutated its argument: total=%d counts=%v", b.Total(), b.Counts)
+	}
+	// Merging an empty histogram is a no-op.
+	if err := a.Merge(NewHistogram(10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 5 {
+		t.Errorf("merging an empty histogram changed the total to %d", a.Total())
+	}
+	// And merging *into* an empty histogram reproduces the source.
+	empty := NewHistogram(10, 5)
+	if err := empty.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Total() != a.Total() || empty.Quantile(0.5) != a.Quantile(0.5) {
+		t.Error("merge into empty histogram did not reproduce the source")
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	h := NewHistogram(10, 5)
+	if err := h.Merge(NewHistogram(10, 6)); err == nil {
+		t.Error("merge accepted a histogram with a different bucket count")
+	}
+	if err := h.Merge(NewHistogram(20, 5)); err == nil {
+		t.Error("merge accepted a histogram with different bounds")
+	}
+	if err := h.Merge(NewHistogramGrowth(10, 1.5, 5)); err == nil {
+		t.Error("merge accepted a histogram with a different growth factor")
+	}
+	if h.Total() != 0 {
+		t.Errorf("rejected merges must not modify the receiver; total = %d", h.Total())
+	}
+}
+
+func TestHistogramQuantileOverflowMass(t *testing.T) {
+	h := NewHistogram(10, 3) // bounds 10, 20, +inf
+	h.Add(5)
+	h.Add(1000) // overflow bucket
+	h.Add(2000) // overflow bucket
+	// Two thirds of the mass is in the unbounded bucket: any quantile that
+	// lands there has no finite upper bound to report.
+	if q := h.Quantile(0.5); !math.IsInf(q, 1) {
+		t.Errorf("median with overflow-bucket mass = %v, want +Inf", q)
+	}
+	if q := h.Quantile(0.33); q != 10 {
+		t.Errorf("q33 = %v, want 10", q)
+	}
+}

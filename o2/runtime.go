@@ -330,6 +330,12 @@ func (t *Thread) LoadCompute(addr Addr, size int, perByte float64) {
 // Yield gives other threads queued on the current core a chance to run.
 func (t *Thread) Yield() { t.t.Yield() }
 
+// IdleUntil suspends the thread until simulated time target, releasing its
+// current core for the duration (the core accrues idle, not busy, cycles).
+// It returns immediately when target is not in the future. This is how an
+// open-loop service worker waits for the next request arrival.
+func (t *Thread) IdleUntil(target Time) { t.t.IdleUntil(target) }
+
 // MigrateTo moves the thread to core dst explicitly, paying the full
 // migration cost. Operations started with Begin migrate automatically;
 // this is for microbenchmarks and custom schedulers.

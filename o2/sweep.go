@@ -183,6 +183,12 @@ type Cell struct {
 	// Load drives the KV load generator for KVCell; the engine installs
 	// the cell seed as its Seed.
 	Load KVLoad
+	// Web sizes the web service for the open-loop service runner
+	// (ServiceCell).
+	Web WebSpec
+	// Service drives the open-loop load generator for ServiceCell; the
+	// engine installs the cell seed as its Seed.
+	Service ServiceLoad
 	// Params drive the measurement; zero fields are defaulted as in
 	// Experiment.Run.
 	Params RunParams
