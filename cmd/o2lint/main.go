@@ -1,0 +1,68 @@
+// Command o2lint runs the repository's static-analysis suite: four
+// analyzers that machine-check the determinism, façade, and hot-path
+// contracts the simulator's results depend on (see internal/lint).
+//
+// Usage:
+//
+//	go tool o2lint [-only analyzer] [packages]
+//
+// With no package arguments it checks ./... . The exit status is 1 when
+// any finding is reported, so CI can gate on it directly. o2lint is not a
+// `go vet -vettool` plugin: the vettool protocol requires the
+// golang.org/x/tools unitchecker, and this module deliberately has no
+// dependencies — `go tool o2lint` (the tool directive in go.mod) is the
+// supported entry point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	//o2:allow facade "o2lint is the façade's own enforcement tooling, not a simulation client; it must reach the analyzer implementation"
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the named analyzer (detrand, maporder, facade, hotalloc)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: o2lint [-only analyzer] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *only != "" {
+		a := lint.ByName(*only)
+		if a == nil {
+			names := make([]string, 0, len(analyzers))
+			for _, a := range analyzers {
+				names = append(names, a.Name)
+			}
+			fmt.Fprintf(os.Stderr, "o2lint: unknown analyzer %q (have %s)\n", *only, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		analyzers = []*lint.Analyzer{a}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := lint.Run(".", analyzers, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o2lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "o2lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

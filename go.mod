@@ -1,3 +1,7 @@
 module repro
 
 go 1.24
+
+// o2lint is installed as a module tool (go tool o2lint) so the lint CI
+// job runs the exact analyzer revision committed with the tree.
+tool repro/cmd/o2lint

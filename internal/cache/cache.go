@@ -123,6 +123,8 @@ func (c *Cache) setOf(l Line) int {
 // order): on the simulator's hot path the looked-up line is almost always
 // the most recently used one, which makes the common hit a single compare
 // and no reordering.
+//
+//o2:hotpath
 func (c *Cache) Lookup(l Line) bool {
 	set := c.sets[c.setOf(l)]
 	k := key(l)

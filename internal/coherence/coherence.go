@@ -122,6 +122,8 @@ func hashLine(l cache.Line) uint64 {
 
 // findSlot returns the table index of l's entry, or -1 when l is
 // untracked.
+//
+//o2:hotpath
 func (d *Directory) findSlot(l cache.Line) int {
 	i := hashLine(l) & d.mask
 	for {
@@ -137,6 +139,8 @@ func (d *Directory) findSlot(l cache.Line) int {
 }
 
 // find returns a pointer to l's entry, or nil when l is untracked.
+//
+//o2:hotpath
 func (d *Directory) find(l cache.Line) *entry {
 	if i := d.findSlot(l); i >= 0 {
 		return &d.tab[i]
@@ -147,6 +151,8 @@ func (d *Directory) find(l cache.Line) *entry {
 // ensure returns l's entry, claiming an empty slot when the line is
 // untracked. The caller must set at least one holder bit before the next
 // table operation: holders == 0 marks an empty slot.
+//
+//o2:hotpath
 func (d *Directory) ensure(l cache.Line) *entry {
 	if d.count >= d.maxLoad {
 		d.grow()
@@ -306,6 +312,8 @@ func (d *Directory) Owner(l cache.Line) Node {
 // the store path — and returns the bitmask of nodes that lost their
 // copies. The common case (keep already the sole owner) touches one entry
 // and allocates nothing.
+//
+//o2:hotpath
 func (d *Directory) AcquireExclusive(l cache.Line, keep Node) (invalidated uint64) {
 	d.checkNode(keep)
 	e := d.ensure(l)

@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against its fixture tree under testdata/,
+// which includes — per analyzer — at least one justified suppression that
+// must silence the finding and one justification-free directive that must
+// itself be reported (see linttest for the "// want" grammar).
+
+func TestDetrand(t *testing.T)  { linttest.Run(t, lint.Detrand, "testdata/detrand/src") }
+func TestMaporder(t *testing.T) { linttest.Run(t, lint.Maporder, "testdata/maporder/src") }
+func TestFacade(t *testing.T)   { linttest.Run(t, lint.Facade, "testdata/facade/src") }
+func TestHotalloc(t *testing.T) { linttest.Run(t, lint.Hotalloc, "testdata/hotalloc/src") }
+
+// TestRepositoryClean runs the full suite over the real module: the tree
+// must stay lint-clean, so weakening any machine-checked contract (for
+// example deleting an //o2:hotpath function's allocation-free body) fails
+// `go test` as well as the CI lint job.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	diags, err := lint.Run("../..", lint.All(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

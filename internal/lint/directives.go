@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The //o2: directive grammar. Directives are ordinary line comments and
+// are recognized anywhere in a file:
+//
+//	//o2:hotpath                          tags the following function for hotalloc
+//	//o2:orderinsensitive "justification" suppresses maporder on this or the next line
+//	//o2:allowalloc "justification"       suppresses hotalloc on this or the next line
+//	//o2:allow <analyzer> "justification" suppresses <analyzer> on this or the next line
+//
+// Every suppression requires a non-empty, Go-quoted justification string;
+// the owning analyzer reports directives that lack one, so a suppression
+// can never silently ship without a recorded reason.
+const directivePrefix = "//o2:"
+
+// A Directive is one parsed //o2: comment.
+type Directive struct {
+	Name string // "hotpath", "orderinsensitive", "allowalloc", "allow"
+	Arg  string // analyzer name, for "allow" only
+	Just string // the justification string, when present and well-formed
+	// HasJust records whether a well-formed justification was given.
+	HasJust bool
+	Pos     token.Pos
+	Line    int
+	File    string
+}
+
+// directiveNames maps each directive to whether it requires a
+// justification string.
+var directiveNames = map[string]bool{
+	"hotpath":          false,
+	"orderinsensitive": true,
+	"allowalloc":       true,
+	"allow":            true,
+}
+
+// parseDirective parses one comment, returning nil when it is not an
+// //o2: directive. A non-nil directive with an empty Name is malformed.
+func parseDirective(c *ast.Comment) *Directive {
+	text, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return nil
+	}
+	d := &Directive{Pos: c.Pos()}
+	rest := text
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		d.Name, rest = rest[:i], strings.TrimSpace(rest[i:])
+	} else {
+		d.Name, rest = rest, ""
+	}
+	if _, known := directiveNames[d.Name]; !known {
+		d.Name = ""
+		return d
+	}
+	if d.Name == "allow" {
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			d.Arg, rest = rest[:i], strings.TrimSpace(rest[i:])
+		} else {
+			d.Arg, rest = rest, ""
+		}
+	}
+	if rest != "" {
+		if just, err := strconv.Unquote(rest); err == nil && just != "" {
+			d.Just, d.HasJust = just, true
+		}
+	}
+	return d
+}
+
+// indexDirectives parses every //o2: directive in the files, keyed by
+// filename and line. Unknown directive names are reported immediately (no
+// analyzer owns them); justification requirements are enforced by the
+// owning analyzers so the finding carries the right analyzer name.
+func indexDirectives(fset *token.FileSet, files []*ast.File) (map[string]map[int]*Directive, []Diagnostic) {
+	idx := make(map[string]map[int]*Directive)
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parseDirective(c)
+				if d == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if d.Name == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "o2lint",
+						Message:  "unknown //o2: directive (known: hotpath, orderinsensitive, allowalloc, allow)",
+					})
+					continue
+				}
+				d.File, d.Line = pos.Filename, pos.Line
+				byLine := idx[d.File]
+				if byLine == nil {
+					byLine = make(map[int]*Directive)
+					idx[d.File] = byLine
+				}
+				byLine[d.Line] = d
+			}
+		}
+	}
+	return idx, diags
+}
+
+// directiveFor returns the directive governing pos: one on the same line,
+// or on the line immediately above.
+func (p *Pass) directiveFor(pos token.Pos) *Directive {
+	position := p.Fset.Position(pos)
+	byLine := p.directives[position.Filename]
+	if byLine == nil {
+		return nil
+	}
+	if d := byLine[position.Line]; d != nil {
+		return d
+	}
+	return byLine[position.Line-1]
+}
+
+// suppressed reports whether a well-formed directive with the given name
+// (and, for "allow", the given analyzer argument) governs pos. Malformed
+// directives never suppress — they are themselves findings.
+func (p *Pass) suppressed(pos token.Pos, name, arg string) bool {
+	d := p.directiveFor(pos)
+	if d == nil || d.Name != name || d.Arg != arg {
+		return false
+	}
+	return !directiveNames[name] || d.HasJust
+}
+
+// checkDirectiveJustifications reports every directive with the given
+// name and argument that is missing its required justification string.
+// Each analyzer calls this for the directives it owns.
+func (p *Pass) checkDirectiveJustifications(name, arg string) {
+	for _, byLine := range p.directives {
+		for _, d := range byLine {
+			if d.Name != name || d.Arg != arg || d.HasJust {
+				continue
+			}
+			spelled := directivePrefix + name
+			if arg != "" {
+				spelled += " " + arg
+			}
+			p.Reportf(d.Pos, "%s requires a non-empty quoted justification, e.g. %s %q", spelled, spelled, "why this is safe")
+		}
+	}
+}
+
+// funcHotpathDirective returns the //o2:hotpath directive in fn's doc
+// comment, or nil.
+func (p *Pass) funcHotpathDirective(fn *ast.FuncDecl) *Directive {
+	if fn.Doc == nil {
+		return nil
+	}
+	for _, c := range fn.Doc.List {
+		if d := parseDirective(c); d != nil && d.Name == "hotpath" {
+			return d
+		}
+	}
+	return nil
+}

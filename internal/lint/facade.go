@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Facade enforces the repro/o2 façade with the import graph and type
+// information instead of the old CI grep (which matched comments and
+// missed indirection):
+//
+//   - packages under repro/cmd/... and repro/examples/... may import only
+//     repro/o2 from this module — never repro/internal/...;
+//   - repro/o2 may not re-export internal types: every internal type that
+//     appears in o2's exported API (signatures, exported struct fields,
+//     method sets of exported types) must be laundered through an exported
+//     o2 alias (type RNG = stats.RNG), so users can always name the type
+//     without importing repro/internal.
+//
+// Suppress a finding with //o2:allow facade "justification" on the same
+// or the preceding line.
+var Facade = &Analyzer{
+	Name: "facade",
+	Doc:  "machine-check the repro/o2 façade boundary and its export surface",
+	Run:  runFacade,
+}
+
+const facadePath = "repro/o2"
+
+func runFacade(pass *Pass) error {
+	pass.checkDirectiveJustifications("allow", "facade")
+	path := pass.Pkg.Path()
+	switch {
+	case strings.HasPrefix(path, "repro/cmd/") || strings.HasPrefix(path, "repro/examples/"):
+		checkFacadeImports(pass)
+	case path == facadePath:
+		checkNoReexports(pass)
+	}
+	return nil
+}
+
+// checkFacadeImports rejects module-internal imports from binaries and
+// examples.
+func checkFacadeImports(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip != "repro" && !strings.HasPrefix(ip, "repro/") {
+				continue
+			}
+			if ip == facadePath || pass.suppressed(imp.Pos(), "allow", "facade") {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "%s may import only %s from this module; %s bypasses the façade", pass.Pkg.Path(), facadePath, ip)
+		}
+	}
+}
+
+// checkNoReexports verifies that o2's exported API mentions internal types
+// only through o2's own exported aliases.
+func checkNoReexports(pass *Pass) {
+	scope := pass.Pkg.Scope()
+
+	// Exported aliases to internal named types are the sanctioned
+	// re-export mechanism: collect them first.
+	laundered := make(map[*types.TypeName]bool)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || !tn.IsAlias() {
+			continue
+		}
+		if named, ok := types.Unalias(tn.Type()).(*types.Named); ok && isInternalObj(named.Obj()) {
+			laundered[named.Obj()] = true
+		}
+	}
+
+	w := &facadeWalker{pass: pass, laundered: laundered, seen: make(map[types.Type]bool)}
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.TypeName:
+			if obj.IsAlias() {
+				// The alias itself launders its target, but the target's
+				// exported structure (fields, methods) becomes part of
+				// o2's API and must not drag in unlaundered types.
+				if named, ok := types.Unalias(obj.Type()).(*types.Named); ok && isInternalObj(named.Obj()) {
+					w.walkExportedStructure(named, obj.Pos())
+					continue
+				}
+				w.walk(obj.Type(), obj.Pos())
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				w.walkExportedStructure(named, obj.Pos())
+			}
+		case *types.Func:
+			w.walk(obj.Type(), obj.Pos())
+		case *types.Var, *types.Const:
+			w.walk(obj.Type(), obj.Pos())
+		}
+	}
+}
+
+func isInternalObj(obj *types.TypeName) bool {
+	return obj != nil && obj.Pkg() != nil && internalPath(obj.Pkg().Path())
+}
+
+// facadeWalker recursively visits the types reachable from one exported
+// declaration, reporting internal named types that lack an o2 alias.
+type facadeWalker struct {
+	pass      *Pass
+	laundered map[*types.TypeName]bool
+	seen      map[types.Type]bool
+}
+
+// walkExportedStructure visits the parts of a named type that become o2
+// API surface: its underlying exported structure and its exported
+// methods' signatures.
+func (w *facadeWalker) walkExportedStructure(named *types.Named, pos token.Pos) {
+	w.walk(named.Underlying(), pos)
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Exported() {
+			w.walk(m.Type(), pos)
+		}
+	}
+}
+
+func (w *facadeWalker) walk(t types.Type, pos token.Pos) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	defer delete(w.seen, t) // seen guards cycles, not cross-decl sharing
+
+	switch t := t.(type) {
+	case *types.Alias:
+		w.walk(types.Unalias(t), pos)
+	case *types.Named:
+		obj := t.Obj()
+		if isInternalObj(obj) {
+			if !w.laundered[obj] && !w.pass.suppressed(pos, "allow", "facade") {
+				w.pass.Reportf(pos, "exported API mentions internal type %s.%s, which has no exported o2 alias; users cannot name it without importing %s", obj.Pkg().Path(), obj.Name(), obj.Pkg().Path())
+			}
+			return
+		}
+		for i := 0; i < t.TypeArgs().Len(); i++ {
+			w.walk(t.TypeArgs().At(i), pos)
+		}
+	case *types.Pointer:
+		w.walk(t.Elem(), pos)
+	case *types.Slice:
+		w.walk(t.Elem(), pos)
+	case *types.Array:
+		w.walk(t.Elem(), pos)
+	case *types.Chan:
+		w.walk(t.Elem(), pos)
+	case *types.Map:
+		w.walk(t.Key(), pos)
+		w.walk(t.Elem(), pos)
+	case *types.Signature:
+		w.walk(t.Params(), pos)
+		w.walk(t.Results(), pos)
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			w.walk(t.At(i).Type(), pos)
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if f := t.Field(i); f.Exported() {
+				w.walk(f.Type(), pos)
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < t.NumExplicitMethods(); i++ {
+			w.walk(t.ExplicitMethod(i).Type(), pos)
+		}
+		for i := 0; i < t.NumEmbeddeds(); i++ {
+			w.walk(t.EmbeddedType(i), pos)
+		}
+	}
+}

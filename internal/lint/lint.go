@@ -1,0 +1,141 @@
+// Package lint implements o2lint, the repository's static-analysis suite.
+//
+// The simulator's headline guarantees — byte-identical sweep results at any
+// worker count, seeded RNG threading, an allocation-free L1-hit fast path,
+// the repro/o2 façade as the only public import surface — are behavioral
+// contracts that golden tests can only sample. This package machine-checks
+// them at the source level with four analyzers:
+//
+//   - detrand: no wall-clock or global-RNG entropy in result-producing
+//     packages; every RNG construction seeds from the run's threaded seed.
+//   - maporder: no map iteration order escaping into results or encoders
+//     without an intervening sort.
+//   - facade: cmd/ and examples/ import only repro/o2, and o2's exported
+//     API mentions internal types only through exported o2 aliases.
+//   - hotalloc: functions annotated //o2:hotpath contain no allocating
+//     constructs.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, testdata trees with "// want" expectations)
+// so the analyzers can be ported to a real multichecker if the module ever
+// takes on the x/tools dependency. It is built only on the standard
+// library: packages under analysis are parsed from source and type-checked
+// against compiled export data produced by `go list -export` (see load.go),
+// so the tool works in offline, dependency-free builds.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named check. Run is invoked once per loaded package
+// and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// directives indexes every //o2: directive in the package by file and
+	// line (see directives.go).
+	directives map[string]map[int]*Directive
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when untypeable.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// All returns the analyzers o2lint runs, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Maporder, Facade, Hotalloc}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run loads the packages matching the go-list patterns (resolved in dir)
+// and applies every analyzer, returning the findings sorted by position.
+func Run(dir string, analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(analyzers, pkgs)
+}
+
+// RunPackages applies every analyzer to every loaded package.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, derrs := indexDirectives(pkg.Fset, pkg.Files)
+		diags = append(diags, derrs...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				directives: dirs,
+				diags:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("o2lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

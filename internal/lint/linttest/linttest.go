@@ -1,0 +1,305 @@
+// Package linttest runs one analyzer over a testdata fixture tree and
+// checks its findings against inline "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest so the fixtures port
+// unchanged if the module ever takes on the x/tools dependency.
+//
+// A fixture tree lives at testdata/<analyzer>/src/<import-path>/*.go.
+// Every directory containing Go files becomes a package whose import path
+// is its path relative to the src root — so fixtures can impersonate the
+// module's own packages (repro/o2, repro/internal/...) and exercise
+// path-scoped rules. Fixture packages are type-checked from source against
+// each other; standard-library imports are resolved through export data
+// built by the go command (lint.NewDepsImporter), so fixtures work in the
+// same offline, dependency-free environment as o2lint itself.
+//
+// Expectations are comments of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// Each pattern must match (re.MatchString) the message of a distinct
+// diagnostic reported on that line; diagnostics without a matching
+// pattern, and patterns without a matching diagnostic, fail the test. The
+// marker may share a comment with an //o2: directive, which is how the
+// malformed-directive fixtures annotate the very line under test.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads the fixture tree rooted at srcRoot, applies the analyzer to
+// every fixture package, and reports expectation mismatches on t.
+func Run(t *testing.T, a *lint.Analyzer, srcRoot string) {
+	t.Helper()
+	root, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := newLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.loadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	diags, err := lint.RunPackages([]*lint.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, miss := range wants.unmatched() {
+		t.Errorf("no %s diagnostic matched:\n  %s", a.Name, miss)
+	}
+}
+
+// loader parses and type-checks the fixture tree. It implements
+// types.Importer so fixture packages can import one another by their
+// fabricated paths; everything else falls through to compiled export data.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	dirs    map[string]string // fixture import path -> directory
+	paths   []string          // sorted fixture import paths
+	std     types.Importer
+	pkgs    map[string]*lint.Package
+	loading map[string]bool // cycle guard
+}
+
+func newLoader(root string) (*loader, error) {
+	l := &loader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		dirs:    make(map[string]string),
+		pkgs:    make(map[string]*lint.Package),
+		loading: make(map[string]bool),
+	}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		ip := filepath.ToSlash(rel)
+		if _, ok := l.dirs[ip]; !ok {
+			l.dirs[ip] = filepath.Dir(path)
+			l.paths = append(l.paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(l.paths)
+
+	// Standard-library imports of the fixtures resolve through export
+	// data; fixture-to-fixture imports resolve through this loader.
+	stdSet := make(map[string]bool)
+	for _, ip := range l.paths {
+		files, err := parser.ParseDir(l.fset, l.dirs[ip], nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range files {
+			for _, f := range pkg.Files {
+				for _, imp := range f.Imports {
+					p, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if _, fixture := l.dirs[p]; !fixture {
+						stdSet[p] = true
+					}
+				}
+			}
+		}
+	}
+	var std []string
+	for p := range stdSet {
+		std = append(std, p)
+	}
+	sort.Strings(std)
+	l.std, err = lint.NewDepsImporter(l.fset, root, std...)
+	return l, err
+}
+
+// Import implements types.Importer over fixture paths plus export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.dirs[path]; ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) loadAll() ([]*lint.Package, error) {
+	var pkgs []*lint.Package
+	for _, ip := range l.paths {
+		pkg, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func (l *loader) load(path string) (*lint.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("linttest: fixture import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirs[path]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &lint.Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = lint.NewTypeInfo()
+	conf := types.Config{Importer: l}
+	pkg.Types, err = conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: type-checking fixture %s: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// An expectation is one want pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func (e *expectation) String() string {
+	return fmt.Sprintf("%s:%d: want %q", e.file, e.line, e.rx.String())
+}
+
+type wantSet struct {
+	byLine map[string]map[int][]*expectation
+	all    []*expectation
+}
+
+// wantArgRx extracts the Go string literals (quoted or backquoted) that
+// follow a "// want" marker.
+var wantArgRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+const wantMarker = "// want "
+
+// collectWants scans every fixture file for "// want" markers.
+func collectWants(pkgs []*lint.Package) (*wantSet, error) {
+	ws := &wantSet{byLine: make(map[string]map[int][]*expectation)}
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				idx := strings.Index(line, wantMarker)
+				if idx < 0 {
+					continue
+				}
+				args := wantArgRx.FindAllString(line[idx+len(wantMarker):], -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s:%d: // want marker with no quoted pattern", name, i+1)
+				}
+				for _, arg := range args {
+					pat, err := strconv.Unquote(arg)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", name, i+1, arg, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", name, i+1, err)
+					}
+					e := &expectation{file: name, line: i + 1, rx: rx}
+					byLine := ws.byLine[name]
+					if byLine == nil {
+						byLine = make(map[int][]*expectation)
+						ws.byLine[name] = byLine
+					}
+					byLine[i+1] = append(byLine[i+1], e)
+					ws.all = append(ws.all, e)
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// match consumes the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message.
+func (ws *wantSet) match(d lint.Diagnostic) bool {
+	for _, e := range ws.byLine[d.Pos.Filename][d.Pos.Line] {
+		if !e.matched && e.rx.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unmatched returns the expectations no diagnostic satisfied, in file
+// order.
+func (ws *wantSet) unmatched() []*expectation {
+	var miss []*expectation
+	for _, e := range ws.all {
+		if !e.matched {
+			miss = append(miss, e)
+		}
+	}
+	return miss
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one package loaded for analysis: its syntax trees plus full
+// type information.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream it prints.
+func goList(dir string, args ...string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load loads the packages matching the go-list patterns, resolved in dir.
+//
+// Each matched package is parsed from source (with comments, so //o2:
+// directives survive) and type-checked against compiled export data: the
+// loader asks the go command to build export data for the full dependency
+// closure (`go list -export -deps`) and feeds it to the standard gc
+// importer. This keeps the loader on the standard library alone — no
+// golang.org/x/tools — while still giving analyzers complete type
+// information, and it works offline because only the standard library and
+// the module's own packages are ever compiled.
+//
+// Test files are not loaded: the contracts o2lint enforces are about
+// result-producing simulation code, and tests legitimately use wall-clock
+// timeouts, ad-hoc seeds, and allocation-heavy assertions.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	roots, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp, err := NewDepsImporter(fset, dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	for _, root := range roots {
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		pkg := &Package{Path: root.ImportPath, Dir: root.Dir, Fset: fset}
+		for _, name := range root.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(root.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		pkg.Info = NewTypeInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(root.ImportPath, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("o2lint: type-checking %s: %v", root.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// NewDepsImporter returns a types.Importer that serves compiled export
+// data for the named packages (go list patterns) and their whole
+// dependency closure, as built by the go command in dir. The fixture
+// loader (linttest) uses it for standard-library imports.
+func NewDepsImporter(fset *token.FileSet, dir string, pkgs ...string) (types.Importer, error) {
+	exports := make(map[string]string)
+	if len(pkgs) > 0 {
+		closure, err := goList(dir, append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, pkgs...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range closure {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("o2lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup), nil
+}
+
+// NewTypeInfo returns a types.Info with every map the analyzers consult
+// populated. The fixture loader (linttest) type-checks with the same maps
+// so fixtures exercise exactly the information real runs have.
+func NewTypeInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

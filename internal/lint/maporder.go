@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` statements over maps, in result-producing
+// packages, whose iteration order can escape into a result: a returned
+// value, an append to an outer slice, an assignment to an outer variable,
+// a channel send, or an encoder/printer call. Go randomizes map iteration
+// order per run, so any such escape makes results differ between runs —
+// exactly the nondeterminism the sweep engine's byte-identical guarantee
+// forbids.
+//
+// The analyzer recognizes the idioms that are genuinely order-insensitive
+// and stays silent on them:
+//
+//   - writes keyed by the iteration variable (seen[name] = true, or
+//     byMetric[name] = append(byMetric[name], v)): each key is visited
+//     exactly once, so the final map state is order-independent;
+//   - commutative integer accumulation (n++, sum += len(v)) — but NOT
+//     floating-point accumulation, which rounds differently per order;
+//   - collect-then-sort: appends into a slice that is passed to
+//     sort.* / slices.Sort* later in the same function;
+//   - order-independent early exits (return of a constant).
+//
+// Everything else needs either a sort or an explicit
+// //o2:orderinsensitive "justification" on the range statement.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration order escaping into results without a sort",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	if !resultPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	pass.checkDirectiveJustifications("orderinsensitive", "")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					maporderScanFunc(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit: // package-level var initializers
+				maporderScanFunc(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// maporderScanFunc checks every map range in one function body, treating
+// nested function literals as their own scope (their bodies are scanned
+// against themselves, so a sort inside a closure counts for its own
+// loops).
+func maporderScanFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			maporderScanFunc(pass, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, body, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// A sink is one order-sensitive construct found in a map-range body.
+type sink struct {
+	pos token.Pos
+	msg string
+	// appendTo is set when the sink is an append to an outer slice
+	// variable; such sinks are forgiven when the variable is sorted later
+	// in the enclosing function.
+	appendTo *types.Var
+}
+
+func checkMapRange(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt) {
+	if pass.suppressed(rs.For, "orderinsensitive", "") {
+		return
+	}
+	sinks := collectSinks(pass, rs)
+	for _, s := range sinks {
+		if s.appendTo != nil && sortedAfter(pass, encl, rs, s.appendTo) {
+			continue
+		}
+		pass.Reportf(s.pos, "%s; sort the result or annotate the loop //o2:orderinsensitive %q", s.msg, "why")
+	}
+}
+
+// declaredIn reports whether obj is declared inside the range statement
+// (its body, or the key/value variables of the header).
+func declaredIn(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+}
+
+// loopDependent reports whether e mentions any identifier declared inside
+// the range statement — i.e. whether its value can vary with iteration
+// order.
+func loopDependent(pass *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	dep := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && declaredIn(objectOf(pass.Info, id), rs) {
+			dep = true
+		}
+		return !dep
+	})
+	return dep
+}
+
+// collectSinks walks the range body and returns every construct through
+// which iteration order can escape.
+func collectSinks(pass *Pass, rs *ast.RangeStmt) []sink {
+	var sinks []sink
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if loopDependent(pass, res, rs) {
+					sinks = append(sinks, sink{n.Pos(), "map iteration order reaches a returned value", nil})
+					break
+				}
+			}
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{n.Pos(), "map iteration order reaches a channel send", nil})
+		case *ast.AssignStmt:
+			sinks = append(sinks, assignSinks(pass, n, rs)...)
+		case *ast.CallExpr:
+			if msg := encoderCall(pass, n, rs); msg != "" {
+				sinks = append(sinks, sink{n.Pos(), msg, nil})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// assignSinks classifies one assignment statement inside a map range.
+func assignSinks(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt) []sink {
+	if as.Tok == token.DEFINE {
+		return nil // declares loop-local variables
+	}
+	var sinks []sink
+	for i, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		// Writes keyed by the loop variable hit each slot exactly once, so
+		// the final state is order-independent.
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if loopDependent(pass, ix.Index, rs) {
+				continue
+			}
+			if loopDependent(pass, rhs, rs) {
+				sinks = append(sinks, sink{as.Pos(), "map iteration order decides which value wins this fixed-index write", nil})
+			}
+			continue
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		obj, _ := objectOf(pass.Info, root).(*types.Var)
+		if obj == nil || declaredIn(obj, rs) {
+			continue // loop-local state
+		}
+		switch as.Tok {
+		case token.ASSIGN:
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeBuiltin(pass.Info, call) == "append" {
+				if len(call.Args) > 0 && exprMentions(pass.Info, call.Args[0], obj) {
+					if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+						sinks = append(sinks, sink{as.Pos(), "map iteration order decides the order of append to " + root.Name, obj})
+						continue
+					}
+				}
+				sinks = append(sinks, sink{as.Pos(), "map iteration order decides the order of an append outside the loop", nil})
+				continue
+			}
+			if loopDependent(pass, rhs, rs) {
+				sinks = append(sinks, sink{as.Pos(), "map iteration order decides the final value of " + root.Name, nil})
+			}
+		default: // compound assignment: commutative only for integers
+			t := pass.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			b, _ := t.Underlying().(*types.Basic)
+			switch {
+			case b != nil && b.Info()&types.IsInteger != 0:
+				// exact and commutative: fine in any order
+			case b != nil && b.Info()&types.IsFloat != 0:
+				sinks = append(sinks, sink{as.Pos(), "floating-point accumulation over map iteration order rounds differently per order", nil})
+			default:
+				if loopDependent(pass, rhs, rs) {
+					sinks = append(sinks, sink{as.Pos(), "map iteration order decides the final value of " + root.Name, nil})
+				}
+			}
+		}
+	}
+	return sinks
+}
+
+// encoderCall reports a non-empty message when call writes
+// iteration-order-dependent data to a printer, encoder, or writer.
+func encoderCall(pass *Pass, call *ast.CallExpr, rs *ast.RangeStmt) string {
+	f := calleeFunc(pass.Info, call)
+	if f == nil {
+		return ""
+	}
+	name := f.Name()
+	isEncoder := false
+	if pkgPathOf(f) == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Append")) {
+		isEncoder = true
+	}
+	if hasReceiver(f) && (strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "Print")) {
+		isEncoder = true
+	}
+	if !isEncoder {
+		return ""
+	}
+	for _, arg := range call.Args {
+		if loopDependent(pass, arg, rs) {
+			return "map iteration order reaches " + name + " output"
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether v is passed to a sort.*/slices.Sort* call
+// after the range statement, inside the same function body — the
+// collect-then-sort idiom.
+func sortedAfter(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt, v *types.Var) bool {
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		switch pkgPathOf(f) {
+		case "sort", "slices":
+			if !strings.HasPrefix(f.Name(), "Sort") && !isSortFunc(f.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if exprMentions(pass.Info, arg, v) {
+					sorted = true
+				}
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortFunc recognizes the package sort entry points that order a
+// collection in place.
+func isSortFunc(name string) bool {
+	switch name {
+	case "Strings", "Ints", "Float64s", "Stable", "Slice", "SliceStable":
+		return true
+	}
+	return false
+}

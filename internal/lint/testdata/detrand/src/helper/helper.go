@@ -1,0 +1,10 @@
+// Package helper is outside the result-producing set, so detrand must
+// stay silent here: tooling may read the wall clock.
+package helper
+
+import "time"
+
+// Stamp returns the wall-clock time; fine outside result packages.
+func Stamp() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,76 @@
+// Package sim exercises the detrand analyzer inside a result-producing
+// package: wall-clock reads, global math/rand sources, and RNG
+// construction whose seed does not flow from the run seed.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Grace period referenced as a type only: naming time.Duration is fine,
+// only the wall-clock entry points are forbidden.
+var grace time.Duration
+
+// BadClock reads the wall clock.
+func BadClock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.Unix()
+}
+
+// BadGlobal draws from the process-global math/rand source.
+func BadGlobal() int64 {
+	return rand.Int63() // want `math/rand\.Int63 draws from the process-global source`
+}
+
+// BadGlobalV2 draws from the process-global math/rand/v2 source.
+func BadGlobalV2() int {
+	return randv2.IntN(10) // want `math/rand/v2\.IntN draws from the process-global source`
+}
+
+// BadHardcoded seeds a generator with a constant: deterministic, but
+// decoupled from the configured run seed.
+func BadHardcoded() *stats.RNG {
+	return stats.NewRNG(42) // want `stats\.NewRNG seed does not flow from the run seed`
+}
+
+// BadSource hard-codes a math/rand source seed.
+func BadSource() rand.Source {
+	return rand.NewSource(7) // want `rand\.NewSource seed does not flow from the run seed`
+}
+
+// GoodDerived seeds through the derivation helper.
+func GoodDerived(seed uint64) *stats.RNG {
+	return stats.NewRNG(stats.DeriveSeed(seed, 3))
+}
+
+// GoodNamed threads a *seed*-named value.
+func GoodNamed(cellSeed uint64) *stats.RNG {
+	return stats.NewRNG(cellSeed)
+}
+
+// GoodSplit derives entropy from an already-seeded generator.
+func GoodSplit(r *stats.RNG) *stats.RNG {
+	return stats.NewRNG(r.Uint64())
+}
+
+// GoodPCG threads the seed into a v2 generator.
+func GoodPCG(seed uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed, stats.DeriveSeed(seed, 1)))
+}
+
+// Suppressed documents a deliberate fixed seed.
+func Suppressed() *stats.RNG {
+	//o2:allow detrand "fixture: calibration table is defined by this exact stream"
+	return stats.NewRNG(12345)
+}
+
+// MissingJust shows that a justification-free suppression both fails to
+// suppress and is itself reported.
+func MissingJust() *stats.RNG {
+	//o2:allow detrand // want `requires a non-empty quoted justification`
+	return stats.NewRNG(99) // want `seed does not flow from the run seed`
+}

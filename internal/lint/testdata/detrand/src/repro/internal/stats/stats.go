@@ -1,0 +1,29 @@
+// Package stats is a fixture stand-in for the module's RNG package: just
+// enough surface for the detrand fixtures to call seeded constructors and
+// seed-derivation helpers.
+package stats
+
+// RNG is a deterministic generator.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed | 1}
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state = r.state*6364136223846793005 + 1
+	return r.state
+}
+
+// DeriveSeed deterministically derives a child seed.
+func DeriveSeed(base uint64, strata ...uint64) uint64 {
+	h := base
+	for _, s := range strata {
+		h = (h ^ s) * 0x9E3779B97F4A7C15
+	}
+	return h
+}

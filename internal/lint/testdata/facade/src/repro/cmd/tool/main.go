@@ -1,0 +1,14 @@
+// Command tool is a fixture binary: binaries may import only repro/o2
+// from the module.
+package main
+
+import (
+	"repro/internal/sim" // want `bypasses the façade`
+	"repro/o2"
+)
+
+func main() {
+	var c sim.Config
+	_ = c
+	_ = o2.Now()
+}

@@ -1,0 +1,18 @@
+// Command demo is a fixture example with one sanctioned internal import
+// and one suppression that is missing its justification.
+package main
+
+import (
+	//o2:allow facade "fixture: the demo renders internal structures on purpose"
+	"repro/internal/sim"
+
+	//o2:allow facade // want `requires a non-empty quoted justification`
+	"repro/internal/trace" // want `bypasses the façade`
+)
+
+func main() {
+	var c sim.Config
+	var k trace.Kind
+	_ = c
+	_ = k
+}

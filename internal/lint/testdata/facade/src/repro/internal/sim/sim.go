@@ -1,0 +1,11 @@
+// Package sim is a fixture stand-in for an internal simulation package
+// whose types must not leak through the façade unlaundered.
+package sim
+
+// Time is simulated time; the o2 fixture launders it with an alias.
+type Time uint64
+
+// Config is internal configuration with no o2 alias.
+type Config struct {
+	Cores int
+}

@@ -1,0 +1,6 @@
+// Package trace is a fixture stand-in for an internal package that a
+// fixture example imports directly.
+package trace
+
+// Kind classifies a trace event.
+type Kind uint8

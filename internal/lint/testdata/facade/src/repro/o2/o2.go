@@ -1,0 +1,29 @@
+// Package o2 is a fixture stand-in for the module façade: its exported
+// API may mention internal types only through its own exported aliases.
+package o2
+
+import "repro/internal/sim"
+
+// Time is the sanctioned laundering alias for sim.Time.
+type Time = sim.Time
+
+// Now is fine: its result type is laundered by the Time alias.
+func Now() Time { return 0 }
+
+// Snapshot leaks an internal type with no exported alias.
+func Snapshot() sim.Config { // want `internal type repro/internal/sim\.Config`
+	return sim.Config{}
+}
+
+// Runtime leaks an internal type through an exported field.
+type Runtime struct { // want `internal type repro/internal/sim\.Config`
+	Cfg sim.Config
+}
+
+// Leaky is a documented, sanctioned leak.
+//
+//o2:allow facade "fixture: transitional API scheduled for removal"
+func Leaky() sim.Config { return sim.Config{} }
+
+// hidden stays unexported, so its internal parameter is not API surface.
+func hidden(c sim.Config) int { return c.Cores }

@@ -1,0 +1,105 @@
+// Package a exercises the hotalloc analyzer: every allocating construct
+// inside an //o2:hotpath function is a finding, and the same constructs
+// in untagged functions are not.
+package a
+
+import "fmt"
+
+type point struct {
+	x, y int
+}
+
+func (p *point) getX() int { return p.x }
+
+func varargs(xs ...int) int { return len(xs) }
+
+// Bad collects one of each allocating construct.
+//
+//o2:hotpath
+func Bad(n int) []int {
+	s := make([]int, n) // want `make allocates`
+	s = append(s, 1)    // want `append may grow`
+	fmt.Println(n)      // want `fmt\.Println allocates`
+	b := []byte("x")    // want `string<->slice conversion copies`
+	_ = b
+	m := map[int]int{} // want `composite literal of slice/map type`
+	_ = m
+	p := &point{} // want `address-taken composite literal`
+	_ = p
+	var i interface{}
+	i = n // want `boxes the value on the heap`
+	_ = i
+	return s
+}
+
+// BadConcat builds a string on the hot path.
+//
+//o2:hotpath
+func BadConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// BadClosure captures state into a closure.
+//
+//o2:hotpath
+func BadClosure(n int) func() int {
+	return func() int { return n } // want `function literal may allocate`
+}
+
+// BadMethodValue binds a method to its receiver.
+//
+//o2:hotpath
+func BadMethodValue(p *point) func() int {
+	return p.getX // want `method value allocates`
+}
+
+// BadVariadic builds an argument slice at the call site.
+//
+//o2:hotpath
+func BadVariadic() int {
+	return varargs(1, 2) // want `variadic call of varargs allocates`
+}
+
+// OKSpread forwards an existing slice: no argument slice is built.
+//
+//o2:hotpath
+func OKSpread(xs []int) int {
+	return varargs(xs...)
+}
+
+// OKArith is pure arithmetic on existing storage.
+//
+//o2:hotpath
+func OKArith(xs []int, x, y uint64) uint64 {
+	if len(xs) > 0 {
+		xs[0] = int(x)
+	}
+	if x > y {
+		return x - y
+	}
+	return y - x
+}
+
+// Untagged may allocate freely.
+func Untagged(n int) []int {
+	return make([]int, n)
+}
+
+// Suppressed documents a deliberate, amortized allocation.
+//
+//o2:hotpath
+func Suppressed(s []int, v int) []int {
+	//o2:allowalloc "fixture: amortized growth, steady-state capacity is reached during warmup"
+	s = append(s, v)
+	return s
+}
+
+// MissingJust shows that a justification-free suppression both fails to
+// suppress and is itself reported.
+//
+//o2:hotpath
+func MissingJust(s []int, v int) []int {
+	//o2:allowalloc // want `requires a non-empty quoted justification`
+	s = append(s, v) // want `append may grow`
+	return s
+}

@@ -1,0 +1,12 @@
+// Package helper is outside the result-producing set, so maporder must
+// stay silent even on an order-leaking loop.
+package helper
+
+// Keys returns keys in raw iteration order; fine outside result packages.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+// Package o2 exercises the maporder analyzer inside a result-producing
+// package: map iteration order escaping into returns, appends, prints and
+// accumulators, next to the idioms the analyzer must accept.
+package o2
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedNames is the sanctioned collect-then-sort idiom: the append is
+// forgiven because names is sorted before anyone can observe its order.
+func SortedNames(stats map[string]int) []string {
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BadNames returns keys in raw iteration order.
+func BadNames(stats map[string]int) []string {
+	var names []string
+	for n := range stats {
+		names = append(names, n) // want `order of append to names`
+	}
+	return names
+}
+
+// BadReturn returns whichever key the runtime happens to visit first.
+func BadReturn(m map[string]int) string {
+	for k := range m {
+		return k // want `reaches a returned value`
+	}
+	return ""
+}
+
+// OKEarlyExit returns a constant: any visiting order gives the same answer.
+func OKEarlyExit(m map[string]int, target string) bool {
+	for k := range m {
+		if k == target {
+			return true
+		}
+	}
+	return false
+}
+
+// OKCounting accumulates integers, which is exact and commutative.
+func OKCounting(m map[string][]int) int {
+	n := 0
+	for _, v := range m {
+		n += len(v)
+	}
+	return n
+}
+
+// BadFloatSum accumulates floats, which rounds differently per order.
+func BadFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation`
+	}
+	return sum
+}
+
+// BadLastWins keeps whichever value iteration visits last.
+func BadLastWins(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v // want `decides the final value of last`
+	}
+	return last
+}
+
+// OKKeyedWrite writes each key's slot exactly once; final state is
+// order-independent.
+func OKKeyedWrite(m map[string]int) map[string]bool {
+	seen := make(map[string]bool, len(m))
+	for k := range m {
+		seen[k] = true
+	}
+	return seen
+}
+
+// BadSend streams keys in iteration order.
+func BadSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `reaches a channel send`
+	}
+}
+
+// BadPrint prints entries in iteration order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `reaches Println output`
+	}
+}
+
+// Suppressed documents a loop whose order-insensitivity the analyzer
+// cannot prove.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	//o2:orderinsensitive "fixture: consumer treats out as a set and never observes order"
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MissingJust shows that a justification-free suppression both fails to
+// suppress and is itself reported.
+func MissingJust(m map[string]int) []string {
+	var out []string
+	//o2:orderinsensitive // want `requires a non-empty quoted justification`
+	for k := range m {
+		out = append(out, k) // want `order of append to out`
+	}
+	return out
+}

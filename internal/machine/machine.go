@@ -221,6 +221,8 @@ func (m *Machine) Store(core int, addr mem.Addr, size int, at sim.Time) sim.Cycl
 // the line-batched entry point the execution substrate's cost batches
 // drive: per-core state (counters, L1) is resolved once per range, not
 // once per line, and the whole common case allocates nothing.
+//
+//o2:hotpath
 func (m *Machine) AccessRange(core int, addr mem.Addr, size int, write bool, at sim.Time) sim.Cycles {
 	if size <= 0 {
 		return 0
@@ -248,6 +250,8 @@ func (m *Machine) accessLine(core int, l cache.Line, write bool, at sim.Time) si
 // here without touching the directory (loads) or allocating (loads and
 // stores); everything else drops into missLine, the out-of-line slow
 // path.
+//
+//o2:hotpath
 func (m *Machine) lineAccess(core int, l cache.Line, write bool, at sim.Time, c *perfctr.Counters, l1 *cache.Cache) sim.Cycles {
 	if write {
 		c.Stores++
@@ -267,6 +271,8 @@ func (m *Machine) lineAccess(core int, l cache.Line, write bool, at sim.Time, c 
 
 // l1HitTail finishes an access whose line hit L1: refresh L2 recency
 // (inclusive hierarchy) and, for stores, acquire exclusive ownership.
+//
+//o2:hotpath
 func (m *Machine) l1HitTail(core int, l cache.Line, write bool, c *perfctr.Counters) sim.Cycles {
 	m.l2[core].Lookup(l)
 	lat := m.cfg.Lat.L1Hit

@@ -50,7 +50,11 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+// push inserts ev, keeping the (at, seq) heap order.
+//
+//o2:hotpath
 func (h *eventHeap) push(ev event) {
+	//o2:allowalloc "amortized growth: the backing array reaches steady-state capacity during warmup and is reused for the rest of the run"
 	*h = append(*h, ev)
 	// Sift up.
 	s := *h
@@ -65,6 +69,9 @@ func (h *eventHeap) push(ev event) {
 	}
 }
 
+// pop removes and returns the earliest event.
+//
+//o2:hotpath
 func (h *eventHeap) pop() event {
 	s := *h
 	top := s[0]
@@ -168,6 +175,9 @@ func (e *Engine) Every(period Cycles, fn func() bool) {
 	e.After(period, tick)
 }
 
+// push stamps ev with the tie-breaking sequence number and enqueues it.
+//
+//o2:hotpath
 func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++

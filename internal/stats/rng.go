@@ -35,6 +35,8 @@ func (r *RNG) Seed(seed uint64) {
 }
 
 // Uint64 returns the next value in the sequence.
+//
+//o2:hotpath
 func (r *RNG) Uint64() uint64 {
 	x := r.state
 	x ^= x >> 12
@@ -46,6 +48,8 @@ func (r *RNG) Uint64() uint64 {
 
 // Intn returns a uniformly distributed integer in [0, n). It panics when
 // n <= 0, matching math/rand.Intn.
+//
+//o2:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn called with n <= 0")
@@ -65,6 +69,8 @@ func (r *RNG) Intn(n int) int {
 }
 
 // Float64 returns a uniformly distributed float in [0, 1).
+//
+//o2:hotpath
 func (r *RNG) Float64() float64 {
 	// 53 high bits give a uniform dyadic rational in [0,1).
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -148,6 +148,8 @@ func NewHistogramGrowth(first, growth float64, nbuckets int) *Histogram {
 }
 
 // Add records one observation.
+//
+//o2:hotpath
 func (h *Histogram) Add(x float64) {
 	h.total++
 	for i, b := range h.Bounds {

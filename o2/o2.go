@@ -165,6 +165,24 @@ type SchedStats = core.Stats
 // (WithTrace).
 type TraceEvent = trace.Event
 
+// TraceKind classifies a TraceEvent; compare against the Ev* constants.
+// Without this alias the TraceEvent.Kind field had a type callers could
+// not name through the façade (o2lint:facade).
+type TraceKind = trace.Kind
+
+// Trace event kinds, re-exported so callers can filter TraceEvents
+// without importing internal packages.
+const (
+	EvPlace     TraceKind = trace.EvPlace
+	EvUnplace   TraceKind = trace.EvUnplace
+	EvMove      TraceKind = trace.EvMove
+	EvMigrate   TraceKind = trace.EvMigrate
+	EvDisperse  TraceKind = trace.EvDisperse
+	EvReplicate TraceKind = trace.EvReplicate
+	EvCollapse  TraceKind = trace.EvCollapse
+	EvRebalance TraceKind = trace.EvRebalance
+)
+
 // RNG is the deterministic, splittable random number generator simulated
 // workloads use; identical seeds give identical runs.
 type RNG = stats.RNG

@@ -1,0 +1,45 @@
+package o2_test
+
+// External-package test: everything here must compile against repro/o2
+// alone. It pins the fix for a real finding of the o2lint facade
+// analyzer: TraceEvent.Kind's type (internal/trace.Kind) had no exported
+// o2 alias, so a caller outside the module could receive TraceEvents but
+// could not declare a variable of the Kind's type or name the Ev*
+// constants to filter on — the filter loop below was unwritable.
+
+import (
+	"testing"
+
+	"repro/o2"
+)
+
+func TestTraceKindIsNamableThroughFacade(t *testing.T) {
+	rt := o2.MustNew(o2.WithTopology(o2.Tiny8), o2.WithTrace(64))
+	obj, err := rt.NewObject("obj", 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Go("w", 0, func(th *o2.Thread) {
+		// Miss-heavy operations push the object's miss EWMA over the
+		// placement threshold so the capacity scheduler emits EvPlace.
+		for i := 0; i < 8; i++ {
+			op := th.Begin(obj)
+			th.Load(obj.Addr(0), obj.Size())
+			op.End()
+		}
+	})
+	rt.Run()
+
+	// Both the type and the constants must be reachable under o2 names.
+	var seen []o2.TraceKind
+	places := 0
+	for _, ev := range rt.TraceEvents() {
+		seen = append(seen, ev.Kind)
+		if ev.Kind == o2.EvPlace {
+			places++
+		}
+	}
+	if places == 0 {
+		t.Fatalf("expected at least one EvPlace decision in the trace, got kinds %v", seen)
+	}
+}
