@@ -1,0 +1,108 @@
+// Engine speed round 2 benchmarks: the arena-reset sweep unit, the
+// WebService steady state, and the million-request soak drive.
+// Before/after numbers are recorded in BENCH_engine2.json.
+//
+// BenchmarkFig4Cell (bench_hotpath_test.go) times the cold unit — build a
+// runtime and tree, run once. The sweep no longer pays that per repeat:
+// repeats after the first roll the runtime back to its post-build image
+// mark. BenchmarkFig4CellArena times exactly what one sweep worker now
+// does per repeat, by driving b.N repeats of one cell through Sweep.Run.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/o2"
+)
+
+// fig4BenchCell is the same cell BenchmarkFig4Cell measures, as sweep
+// configuration: tiny8, 8 dirs × 512 entries, CoreTime.
+func fig4BenchCell() o2.Sweep {
+	p := o2.DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = 400_000
+	p.Measure = 800_000
+	return o2.Sweep{
+		Name: "bench",
+		Base: o2.Cell{
+			Machine:   o2.Tiny8,
+			Scheduler: o2.CoreTime,
+			Tree:      o2.DirSpec{Dirs: 8, EntriesPerDir: 512},
+			Params:    p,
+		},
+		Seed:    7,
+		Workers: 1,
+		Runner:  o2.DirLookupCell,
+	}
+}
+
+// BenchmarkFig4CellArena measures the steady-state sweep unit: one
+// Figure-4 repeat on an arena-reused runtime (engine reset, image rolled
+// back to the post-build mark, caches flushed) instead of a fresh build.
+func BenchmarkFig4CellArena(b *testing.B) {
+	s := fig4BenchCell()
+	s.Repeats = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Cells[0].Mean("kres_per_sec") <= 0 {
+		b.Fatal("benchmark produced no resolutions")
+	}
+}
+
+// BenchmarkWebCellArena measures the WebService steady state the same
+// way: one open-loop run per repeat on an arena-reused runtime.
+func BenchmarkWebCellArena(b *testing.B) {
+	s := o2.Sweep{
+		Name: "bench-web",
+		Base: o2.Cell{
+			Machine:   o2.Tiny8,
+			Scheduler: o2.CoreTime,
+			Web:       o2.WebSpec{DocRoots: 24, FilesPerRoot: 128},
+			Service:   o2.ServiceLoad{Requests: 800, RPS: 1_000_000, Skew: 0.99},
+		},
+		Seed:    7,
+		Workers: 1,
+		Runner:  o2.ServiceCell,
+	}
+	s.Repeats = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Cells[0].Mean("achieved_krps") <= 0 {
+		b.Fatal("benchmark served nothing")
+	}
+}
+
+// BenchmarkSoakDrive measures the direct-handoff drive per request: the
+// unit cost behind `o2bench soak`, where a million requests flow through
+// one chained arrival event and a parked-worker wait list.
+func BenchmarkSoakDrive(b *testing.B) {
+	rt := o2.MustNew(o2.WithTopology(o2.Tiny8), o2.WithSeed(7))
+	svc, err := rt.NewWebService(o2.WebSpec{DocRoots: 24, FilesPerRoot: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	load := o2.ServiceLoad{
+		Requests:      b.N,
+		RPS:           1_000_000,
+		Skew:          0.99,
+		Seed:          7,
+		DirectHandoff: true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := svc.Run(load)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Completed == 0 {
+		b.Fatal("benchmark served nothing")
+	}
+}

@@ -18,6 +18,9 @@
 //	o2bench web [-quick] [-seed N] [-workers N] [-repeats N] [-json]
 //	                                    WebService scenario: open-loop tail
 //	                                    latency under compaction interference
+//	o2bench soak [-quick] [-seed N] [-workers N] [-repeats N] [-json]
+//	                                    engine endurance: one million
+//	                                    direct-handoff requests per cell
 //	o2bench latency                     §5 latency table
 //	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
 //	o2bench ablation -exp=NAME          clustering|replication|replacement|
@@ -118,6 +121,8 @@ func run(cmd string, args []string) error {
 		return runKV(args)
 	case "web":
 		return runWeb(args)
+	case "soak":
+		return runSoak(args)
 	case "latency":
 		return runLatency()
 	case "migration":
@@ -153,6 +158,8 @@ func usage() {
   o2bench web [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
                                      WebService scenario: open-loop request latency tails
                                      under background compaction interference
+  o2bench soak [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
+                                     engine endurance: one million direct-handoff requests per cell
   o2bench latency                    hardware latency table (§5)
   o2bench migration [-trials N]      migration cost microbenchmark (§5)
   o2bench ablation -exp=NAME         clustering|replication|replacement|migcost|hetero|paths|single|all
@@ -349,6 +356,64 @@ func runWeb(args []string) error {
 		return err
 	}
 	return emitWeb(os.Stdout, cfg, format)
+}
+
+// soakFlags parses the soak subcommand's flags.
+func soakFlags(args []string) (o2.WebConfig, outFormat, error) {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced soak (Tiny8 machine, 50k requests per cell)")
+	seed := fs.Uint64("seed", 1, "base RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-cell sweep results")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all host CPUs)")
+	repeats := fs.Int("repeats", 1, "measurements per grid cell (mean/stddev reported)")
+	if err := fs.Parse(args); err != nil {
+		return o2.WebConfig{}, formatTable, err
+	}
+	cfg := o2.SoakWebConfig()
+	if *quick {
+		cfg = o2.QuickSoakWebConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Repeats = *repeats
+	cfg.Progress = os.Stderr
+	format, err := parseFormat(*jsonOut, *csv)
+	if err != nil {
+		return o2.WebConfig{}, formatTable, err
+	}
+	return cfg, format, nil
+}
+
+// emitSoak runs the million-request endurance sweep and renders it to w.
+// Split from runSoak so tests can pin the output on the quick
+// configuration.
+func emitSoak(w io.Writer, cfg o2.WebConfig, format outFormat) error {
+	cfg, sweep := o2.WebSweep(cfg)
+	sweep.Name = "soak"
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case formatJSON:
+		return res.WriteJSON(w)
+	case formatCSV:
+		o2.WriteWebCSV(w, res)
+		return nil
+	}
+	title := fmt.Sprintf("Soak: %d direct-handoff requests per cell on %s (%d vhosts × %d files)",
+		cfg.Load.Requests, cfg.Machine.Name(), cfg.Spec.DocRoots, cfg.Spec.FilesPerRoot)
+	o2.WriteWebTable(w, title, res)
+	return nil
+}
+
+func runSoak(args []string) error {
+	cfg, format, err := soakFlags(args)
+	if err != nil {
+		return err
+	}
+	return emitSoak(os.Stdout, cfg, format)
 }
 
 func runFig4(args []string, uniform bool) error {

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,14 +26,26 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named analyzer (detrand, maporder, facade, hotalloc)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: o2lint [-only analyzer] [packages]\n\nanalyzers:\n")
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit: packages resolve in
+// dir, findings go to stdout, errors and the summary line to stderr. The
+// returned code is the process exit status — 0 clean, 1 findings, 2 usage
+// or load errors — which is what the smoke test asserts.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("o2lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "run only the named analyzer (detrand, maporder, facade, hotalloc)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: o2lint [-only analyzer] [packages]\n\nanalyzers:\n")
 		for _, a := range lint.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
 	if *only != "" {
@@ -42,27 +55,28 @@ func main() {
 			for _, a := range analyzers {
 				names = append(names, a.Name)
 			}
-			fmt.Fprintf(os.Stderr, "o2lint: unknown analyzer %q (have %s)\n", *only, strings.Join(names, ", "))
-			os.Exit(2)
+			fmt.Fprintf(stderr, "o2lint: unknown analyzer %q (have %s)\n", *only, strings.Join(names, ", "))
+			return 2
 		}
 		analyzers = []*lint.Analyzer{a}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := lint.Run(".", analyzers, patterns)
+	diags, err := lint.Run(dir, analyzers, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "o2lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "o2lint:", err)
+		return 2
 	}
 	for _, d := range diags {
-		fmt.Println(d)
+		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "o2lint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "o2lint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture materializes a throwaway module and returns its root. The
+// go command resolves packages inside it exactly as it would for a user
+// running o2lint in their own tree.
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const fixtureGoMod = "module fixture\n\ngo 1.24\n"
+
+func TestRunReportsFindings(t *testing.T) {
+	// Two //o2:hotpath functions that allocate: hotalloc must report
+	// exactly one finding per allocation site, and the process must exit 1.
+	dir := writeFixture(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"hot.go": `package fixture
+
+//o2:hotpath
+func HotSlice() []int {
+	return make([]int, 8)
+}
+
+//o2:hotpath
+func HotMap() map[int]int {
+	return map[int]int{}
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	findings := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(findings) != 2 {
+		t.Fatalf("reported %d finding(s), want 2:\n%s", len(findings), &stdout)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f, "hotpath") && !strings.Contains(f, "alloc") {
+			t.Errorf("finding does not mention the hot-path contract: %s", f)
+		}
+	}
+	if !strings.Contains(stderr.String(), "2 finding(s)") {
+		t.Errorf("summary line missing from stderr:\n%s", &stderr)
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"ok.go": `package fixture
+
+//o2:hotpath
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean tree produced findings:\n%s", &stdout)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.TempDir(), []string{"-only", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr does not explain the bad -only value:\n%s", &stderr)
+	}
+}

@@ -131,9 +131,13 @@ func (c *Cache) Lookup(l Line) bool {
 	for i := len(set) - 1; i >= 0; i-- {
 		if set[i]&^entryDirty == k {
 			if i < len(set)-1 {
+				// Shift by hand: the run is at most assoc-1 words, below
+				// the length where memmove's call overhead pays off.
 				e := set[i]
-				copy(set[i:], set[i+1:])
-				set[len(set)-1] = e
+				for ; i < len(set)-1; i++ {
+					set[i] = set[i+1]
+				}
+				set[i] = e
 			}
 			return true
 		}
@@ -179,18 +183,44 @@ func (c *Cache) Insert(l Line, dirty bool) (evicted Line, evictedDirty, didEvict
 			if dirty {
 				e |= entryDirty
 			}
-			copy(set[i:], set[i+1:])
-			set[len(set)-1] = e
+			for ; i < len(set)-1; i++ {
+				set[i] = set[i+1]
+			}
+			set[i] = e
 			return 0, false, false
 		}
 	}
+	return c.insertAbsent(si, set, l, dirty)
+}
+
+// InsertNew is Insert for a line the caller has just proven absent (its
+// Lookup or Contains on this cache returned false, with no intervening
+// mutation). It skips the residency re-scan; the insertion and eviction
+// behavior is identical to Insert's absent case. The machine model's miss
+// path uses it: every install there follows a failed lookup on the same
+// cache.
+//
+//o2:hotpath
+func (c *Cache) InsertNew(l Line, dirty bool) (evicted Line, evictedDirty, didEvict bool) {
+	si := c.setOf(l)
+	return c.insertAbsent(si, c.sets[si], l, dirty)
+}
+
+// insertAbsent places a non-resident line at MRU, evicting LRU on a full
+// set.
+//
+//o2:hotpath
+func (c *Cache) insertAbsent(si int, set []entry, l Line, dirty bool) (evicted Line, evictedDirty, didEvict bool) {
 	if len(set) >= c.geom.Assoc {
 		victim := set[0]
-		copy(set, set[1:])
+		for i := 0; i < len(set)-1; i++ {
+			set[i] = set[i+1]
+		}
 		set[len(set)-1] = packEntry(l, dirty)
 		c.sets[si] = set
 		return victim.line(), victim.dirty(), true
 	}
+	//o2:allowalloc "append within the set's pre-sliced slab capacity: New caps each set at assoc, so this never grows"
 	c.sets[si] = append(set, packEntry(l, dirty))
 	c.count++
 	return 0, false, false
@@ -218,7 +248,10 @@ func (c *Cache) Remove(l Line) (wasDirty, removed bool) {
 	for i := range set {
 		if set[i]&^entryDirty == k {
 			dirty := set[i].dirty()
-			c.sets[si] = append(set[:i], set[i+1:]...)
+			for ; i < len(set)-1; i++ {
+				set[i] = set[i+1]
+			}
+			c.sets[si] = set[:len(set)-1]
 			c.count--
 			return dirty, true
 		}

@@ -118,8 +118,10 @@ type Runtime struct {
 
 	// ctxPool recycles opCtx records: one is needed per in-flight
 	// operation, and the annotation path runs once per simulated
-	// operation.
+	// operation. oiPool recycles objInfo records across Reset, which
+	// re-learns every object.
 	ctxPool []*opCtx
+	oiPool  []*objInfo
 
 	stats Stats
 }
@@ -167,16 +169,47 @@ func New(sys *exec.System, opts Options) *Runtime {
 		budget:   int64(float64(cfg.PerCoreBudgetBytes()) * opts.BudgetFraction),
 		inflight: make(map[int][]*opCtx),
 	}
-	if opts.RebalanceInterval > 0 {
-		sys.Engine().Every(opts.RebalanceInterval, func() bool {
-			rt.rebalance()
-			// Keep ticking only while simulated threads are alive;
-			// otherwise the monitor would hold the event queue open
-			// forever.
-			return sys.Engine().Live() > 0
-		})
-	}
+	rt.startMonitor()
 	return rt
+}
+
+// startMonitor registers the rebalance tick when the options ask for one.
+func (rt *Runtime) startMonitor() {
+	if rt.opts.RebalanceInterval <= 0 {
+		return
+	}
+	eng := rt.sys.Engine()
+	eng.Every(rt.opts.RebalanceInterval, func() bool {
+		rt.rebalance()
+		// Keep ticking only while simulated threads are alive; otherwise
+		// the monitor would hold the event queue open forever.
+		return eng.Live() > 0
+	})
+}
+
+// Reset returns the runtime to its post-New state on the same system,
+// keeping its allocated pools and scratch so an arena-reused sweep repeat
+// rebuilds no scheduler bookkeeping. The caller must have Reset the
+// engine, system, and machine first (the monitor tick is re-registered on
+// the reset engine); everything observable — placements, in-flight
+// operations, process weights, stats — matches a freshly built Runtime.
+func (rt *Runtime) Reset() {
+	for k, oi := range rt.objs {
+		*oi = objInfo{}
+		rt.oiPool = append(rt.oiPool, oi)
+		delete(rt.objs, k)
+	}
+	for i := range rt.coreLoad {
+		rt.coreLoad[i] = 0
+	}
+	clear(rt.inflight)
+	rt.procWeights = nil
+	rt.clusterSeq = 0
+	for i := range rt.mon.last {
+		rt.mon.last[i] = perfctr.Counters{}
+	}
+	rt.stats = Stats{}
+	rt.startMonitor()
 }
 
 // Name implements sched.Annotator.
@@ -202,7 +235,14 @@ func (rt *Runtime) info(addr mem.Addr) *objInfo {
 	}
 	oi := rt.objs[obj.Base]
 	if oi == nil {
-		oi = &objInfo{obj: obj}
+		if n := len(rt.oiPool); n > 0 {
+			oi = rt.oiPool[n-1]
+			rt.oiPool[n-1] = nil
+			rt.oiPool = rt.oiPool[:n-1]
+		} else {
+			oi = new(objInfo)
+		}
+		oi.obj = obj
 		rt.objs[obj.Base] = oi
 	}
 	return oi
@@ -264,10 +304,9 @@ func (rt *Runtime) targetCore(t *exec.Thread, oi *objInfo) (int, bool) {
 		// caches, which is the whole point of replicating instead of
 		// funneling operations to one core. Otherwise migrate to the
 		// least-occupied replica core.
-		cfg := rt.mach.Config()
-		myChip := cfg.ChipOf(t.Core())
+		myChip := rt.mach.ChipOf(t.Core())
 		for _, c := range oi.replicas {
-			if cfg.ChipOf(c) == myChip {
+			if rt.mach.ChipOf(c) == myChip {
 				return 0, false // chip-local: no migration
 			}
 		}
@@ -349,14 +388,13 @@ func (rt *Runtime) disperse(t *exec.Thread) {
 	if rt.sys.Core(cur).QueueLen() == 0 {
 		return // nobody is waiting for this core
 	}
-	cfg := rt.mach.Config()
-	myChip := cfg.ChipOf(cur)
+	myChip := rt.mach.ChipOf(cur)
 	best, bestDist := -1, 1<<30
 	for c := 0; c < rt.sys.NumCores(); c++ {
 		if c == cur || rt.occupancy(c) != 0 {
 			continue
 		}
-		d := cfg.HopDistance(myChip, cfg.ChipOf(c))
+		d := rt.mach.HopDist(myChip, rt.mach.ChipOf(c))
 		if d < bestDist {
 			best, bestDist = c, d
 		}

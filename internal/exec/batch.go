@@ -57,7 +57,7 @@ func (b *Batch) Compute(c float64) { b.compute += c }
 
 // Pending returns the cost accumulated so far.
 func (b *Batch) Pending() sim.Cycles {
-	return b.memLat + sim.Cycles(b.compute*b.mach.Config().SpeedOf(b.t.core))
+	return b.memLat + sim.Cycles(b.compute*b.t.sys.speed[b.t.core])
 }
 
 // Commit advances the thread's simulated time by the accumulated cost and

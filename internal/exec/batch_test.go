@@ -103,6 +103,33 @@ func TestBatchTimestampsThreadThrough(t *testing.T) {
 	}
 }
 
+func TestBatchCommitCoalescesEvents(t *testing.T) {
+	// A batch of K line accesses must reach the engine as one completion
+	// event at Commit, not K per-touch insertions. Two concurrent threads
+	// keep the event queue non-empty, so commits cannot ride the Sleep
+	// fast path and every time advance is visible in the dispatch count.
+	eng, s := newSys(t)
+	const lines = 64
+	scan := func(base mem.Addr) func(*Thread) {
+		return func(th *Thread) {
+			b := th.NewBatch()
+			for i := 0; i < lines; i++ {
+				b.Load(base+mem.Addr(i*64), 64)
+			}
+			b.Commit()
+		}
+	}
+	s.Go("a", 0, scan(0))
+	s.Go("b", 1, scan(1<<20))
+	eng.Run(0)
+	// Budget: two spawns plus at most one completion event per Commit.
+	// Per-touch insertion would dispatch on the order of 2*lines events.
+	if got := eng.EventsDispatched(); got > 6 {
+		t.Fatalf("dispatched %d events for 2 batched scans of %d lines each; accesses are not coalescing",
+			got, lines)
+	}
+}
+
 func TestBatchStoresAcquireOwnership(t *testing.T) {
 	eng, s := newSys(t)
 	addr := mem.Addr(4096)

@@ -57,6 +57,10 @@ type System struct {
 	opts  Options
 	cores []*Core
 	next  int // thread id allocator
+
+	// speed caches Config().SpeedOf per core: the config methods copy the
+	// whole topology struct, which is too expensive for Compute's hot path.
+	speed []float64
 }
 
 // NewSystem creates the substrate. Thread context buffers are allocated
@@ -64,10 +68,13 @@ type System struct {
 // traffic.
 func NewSystem(eng *sim.Engine, m *machine.Machine, opts Options) *System {
 	s := &System{eng: eng, mach: m, opts: opts}
-	n := m.Config().NumCores()
+	cfg := m.Config()
+	n := cfg.NumCores()
 	s.cores = make([]*Core, n)
+	s.speed = make([]float64, n)
 	for i := 0; i < n; i++ {
 		s.cores[i] = &Core{sys: s, id: i}
+		s.speed[i] = cfg.SpeedOf(i)
 	}
 	return s
 }
@@ -95,6 +102,24 @@ func (s *System) FlushIdleAccounting() {
 	for _, c := range s.cores {
 		c.flushIdle(now)
 	}
+}
+
+// Reset returns the substrate to its initial state for arena reuse across
+// sweep repeats: thread ids restart at zero and every core forgets its
+// idle-accounting history, so threads spawned after Reset see exactly the
+// state a fresh System would give them. It panics if any core is still
+// held or has queued threads — resetting under live threads would corrupt
+// the engine's active-context count.
+func (s *System) Reset() {
+	for _, c := range s.cores {
+		if c.holder != nil || len(c.waiters) != 0 {
+			panic(fmt.Sprintf("exec: Reset with core %d busy (holder %v, %d queued)",
+				c.id, c.holder != nil, len(c.waiters)))
+		}
+		c.idleSince = 0
+		c.everUsed = false
+	}
+	s.next = 0
 }
 
 // Core is one simulated core: a FIFO-fair resource that at most one thread
@@ -130,6 +155,9 @@ func (c *Core) acquire(t *Thread) {
 		c.flushIdle(t.proc.Now())
 		c.holder = t
 		c.everUsed = true
+		// Idle→busy: register with the engine's activity meter so it can
+		// attribute fast-forwarded time to dead time (all cores idle).
+		c.sys.eng.AddActive(1)
 		return
 	}
 	start := t.proc.Now()
@@ -159,6 +187,7 @@ func (c *Core) release(t *Thread) {
 	}
 	c.holder = nil
 	c.idleSince = t.proc.Now()
+	c.sys.eng.AddActive(-1) // busy→idle
 }
 
 // Thread is a cooperative green thread bound to a home core, able to
@@ -240,7 +269,7 @@ func (t *Thread) advance(d sim.Cycles) {
 // Compute charges d cycles of pure computation, scaled by the core's speed
 // factor (heterogeneous-cores ablation).
 func (t *Thread) Compute(d sim.Cycles) {
-	speed := t.sys.mach.Config().SpeedOf(t.core)
+	speed := t.sys.speed[t.core]
 	if speed != 1.0 {
 		d = sim.Cycles(float64(d) * speed)
 	}
@@ -265,7 +294,7 @@ func (t *Thread) Store(addr mem.Addr, size int) {
 // keeps big scans cheap to simulate.
 func (t *Thread) LoadCompute(addr mem.Addr, size int, perByte float64) {
 	lat := t.sys.mach.Load(t.core, addr, size, t.proc.Now())
-	comp := sim.Cycles(float64(size) * perByte * t.sys.mach.Config().SpeedOf(t.core))
+	comp := sim.Cycles(float64(size) * perByte * t.sys.speed[t.core])
 	t.advance(lat + comp)
 }
 
@@ -284,6 +313,26 @@ func (t *Thread) IdleUntil(target sim.Time) {
 	c.release(t)
 	t.proc.Sleep(target - now)
 	c.acquire(t)
+}
+
+// Block releases the thread's current core and parks the thread until
+// another thread or timer calls Unblock; on wake it re-acquires the core.
+// While blocked the core runs queued threads or accrues idle cycles,
+// exactly like IdleUntil — Block is IdleUntil without a deadline. It is
+// the primitive wait queues (sched.WaitList) are built from; Unblock must
+// only be called on a thread currently parked in Block.
+func (t *Thread) Block() {
+	c := t.sys.cores[t.core]
+	c.release(t)
+	t.proc.Park()
+	c.acquire(t)
+}
+
+// Unblock makes a thread parked in Block runnable at the current instant.
+// The thread re-acquires its core before Block returns, queueing behind
+// any holder.
+func (t *Thread) Unblock() {
+	t.proc.Unpark()
 }
 
 // Yield gives other threads queued on the current core a chance to run. If

@@ -1,6 +1,7 @@
 package fatfs
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/mem"
@@ -116,44 +117,137 @@ func (fs *FS) writeEntry(acc Access, addr mem.Addr, raw [11]byte, attr byte, fir
 // backing bytes once per 512-byte sector (as EFSL reads them) and
 // accumulates the per-entry compare cost locally, charging it in one
 // Compute call — the same total, without an interface call per slot.
+// The scan itself runs inline over each contiguous slot region
+// (scanRegion) instead of dispatching a closure per slot; the charge
+// sequence — one sector load per boundary, every visited slot counted,
+// FAT hops between a subdirectory's clusters — is identical.
 func (fs *FS) Lookup(acc Access, d Dir, name string) (Entry, error) {
 	raw, err := EncodeName(name)
 	if err != nil {
 		return Entry{}, err
 	}
-	var found *Entry
-	var sector []byte
+	// A matched slot's name bytes equal raw exactly, so the entry's
+	// decoded name is DecodeName(raw). When the caller's name is already
+	// that canonical form — every generated workload name is — reuse it
+	// instead of allocating a fresh string per hit.
+	canon := name
+	if !isCanonicalName(name, &raw) {
+		canon = DecodeName(raw)
+	}
 	compared := 0
-	fs.forEachSlot(acc, d, func(addr mem.Addr, idx int) bool {
-		// Charge the load once per sector, then compare entries from it.
-		// Slot addresses advance sequentially, so the sector slice stays
-		// valid until the next sector boundary.
-		if addr%SectorSize == 0 {
+	var found Entry
+	var ok, stop bool
+	if d.IsRoot() {
+		found, ok, _ = fs.scanRegion(acc, fs.rootBase, fs.cfg.RootEntries, 0, &raw, canon, &compared)
+	} else {
+		perCluster := fs.clusterBytes / DirEntrySize
+		cl := d.firstCluster
+		idx := 0
+		for cl >= minCluster {
+			found, ok, stop = fs.scanRegion(acc, fs.clusterAddr(cl), perCluster, idx, &raw, canon, &compared)
+			if ok || stop {
+				break
+			}
+			idx += perCluster
+			next := fs.readFAT(acc, cl)
+			if next >= fatEndOfFile {
+				break
+			}
+			cl = int(next)
+		}
+	}
+	acc.Compute(float64(compared) * CompareCost)
+	if !ok {
+		return Entry{}, ErrNotFound{Name: name}
+	}
+	return found, nil
+}
+
+// isCanonicalName reports whether name is byte-for-byte what
+// DecodeName(raw) would return, without allocating the comparison string.
+func isCanonicalName(name string, raw *[11]byte) bool {
+	baseLen := 8
+	for baseLen > 0 && raw[baseLen-1] == ' ' {
+		baseLen--
+	}
+	extLen := 3
+	for extLen > 0 && raw[8+extLen-1] == ' ' {
+		extLen--
+	}
+	want := baseLen
+	if extLen > 0 {
+		want += 1 + extLen
+	}
+	if len(name) != want {
+		return false
+	}
+	for i := 0; i < baseLen; i++ {
+		if name[i] != raw[i] {
+			return false
+		}
+	}
+	if extLen > 0 {
+		if name[baseLen] != '.' {
+			return false
+		}
+		for i := 0; i < extLen; i++ {
+			if name[baseLen+1+i] != raw[8+i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scanRegion scans nslots contiguous directory slots starting at base for
+// the encoded name raw, charging one sector load per boundary crossed and
+// counting every visited slot (including the 0x00 end-of-directory slot)
+// into *compared. idx0 is the directory-wide index of the first slot; name
+// is the decoded form of raw, stored on the matched entry. It returns the
+// matched entry, whether a match was found, and whether the
+// end-of-directory marker stopped the scan.
+//
+//o2:hotpath
+func (fs *FS) scanRegion(acc Access, base mem.Addr, nslots, idx0 int, raw *[11]byte, name string, compared *int) (Entry, bool, bool) {
+	// The 11-byte name compare runs as one 8-byte and one overlapping
+	// 4-byte word compare (bytes 0-7 and 7-10); byte 7 is covered twice,
+	// which is harmless.
+	raw8 := binary.LittleEndian.Uint64(raw[0:8])
+	raw4 := binary.LittleEndian.Uint32(raw[7:11])
+	var sector []byte
+	n := *compared
+	for s := 0; s < nslots; s++ {
+		addr := base + mem.Addr(s*DirEntrySize)
+		off := int(addr % SectorSize)
+		if off == 0 {
 			acc.Load(addr, SectorSize)
 			sector = fs.img.Bytes(addr, SectorSize)
 		}
-		compared++
-		b := sector[addr%SectorSize:]
+		n++
+		b := sector[off : off+DirEntrySize]
 		switch b[0] {
 		case 0x00: // end-of-directory marker
-			return false
+			*compared = n
+			return Entry{}, false, true
 		case 0xE5: // deleted
-			return true
+			continue
 		}
-		for i := 0; i < 11; i++ {
-			if b[i] != raw[i] {
-				return true
-			}
+		if binary.LittleEndian.Uint64(b[0:8]) != raw8 ||
+			binary.LittleEndian.Uint32(b[7:11]) != raw4 {
+			continue
 		}
-		e := fs.decodeEntry(addr, idx)
-		found = &e
-		return false
-	})
-	acc.Compute(float64(compared) * CompareCost)
-	if found == nil {
-		return Entry{}, ErrNotFound{Name: name}
+		*compared = n
+		return Entry{
+			Name:         name,
+			Attr:         b[11],
+			FirstCluster: int(uint16(b[26]) | uint16(b[27])<<8),
+			Size:         uint32(b[28]) | uint32(b[29])<<8 | uint32(b[30])<<16 | uint32(b[31])<<24,
+			Index:        idx0 + s,
+			Addr:         addr,
+		}, true, false
 	}
-	return *found, nil
+	*compared = n
+	return Entry{}, false, false
 }
 
 // LookupPath resolves a "/"-separated path from the root, charging every

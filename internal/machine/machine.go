@@ -54,6 +54,15 @@ type Machine struct {
 
 	lineSize int
 
+	// Derived lookup tables, computed once at construction. topology.Config
+	// methods take the (large) config by value, so calling them per line
+	// access copies the whole struct; the hot paths read these instead.
+	ncores    int
+	chipOf    []int          // core -> chip
+	hop       [][]int        // chip × chip Manhattan distance
+	remoteLat [][]sim.Cycles // chip × chip remote-cache fetch latency
+	dramLat   [][]sim.Cycles // chip × chip raw DRAM latency
+
 	// scratchLines is reused by the invariant checks, which would
 	// otherwise allocate a fresh line set on every residency scan.
 	scratchLines []cache.Line
@@ -152,6 +161,24 @@ func NewWithMemLimit(cfg topology.Config, memBytes, memLimit int) (*Machine, err
 	for i := 0; i < cfg.Chips; i++ {
 		m.l3[i] = cache.New(cfg.L3)
 	}
+	m.ncores = n
+	m.chipOf = make([]int, n)
+	for i := 0; i < n; i++ {
+		m.chipOf[i] = cfg.ChipOf(i)
+	}
+	m.hop = make([][]int, cfg.Chips)
+	m.remoteLat = make([][]sim.Cycles, cfg.Chips)
+	m.dramLat = make([][]sim.Cycles, cfg.Chips)
+	for a := 0; a < cfg.Chips; a++ {
+		m.hop[a] = make([]int, cfg.Chips)
+		m.remoteLat[a] = make([]sim.Cycles, cfg.Chips)
+		m.dramLat[a] = make([]sim.Cycles, cfg.Chips)
+		for b := 0; b < cfg.Chips; b++ {
+			m.hop[a][b] = cfg.HopDistance(a, b)
+			m.remoteLat[a][b] = cfg.RemoteCacheLatency(a, b)
+			m.dramLat[a][b] = cfg.DRAMLatency(a, b)
+		}
+	}
 	return m, nil
 }
 
@@ -176,6 +203,17 @@ func (m *Machine) Counters() *perfctr.Set { return m.ctr }
 // LineSize returns the cache line size in bytes.
 func (m *Machine) LineSize() int { return m.lineSize }
 
+// NumCores returns the machine's core count without copying the config.
+func (m *Machine) NumCores() int { return m.ncores }
+
+// ChipOf returns the chip of core via the precomputed table — the cheap
+// form of Config().ChipOf for per-operation callers.
+func (m *Machine) ChipOf(core int) int { return m.chipOf[core] }
+
+// HopDist returns the Manhattan distance between two chips via the
+// precomputed table.
+func (m *Machine) HopDist(a, b int) int { return m.hop[a][b] }
+
 // L1 returns core's L1 cache (for inspection and tests).
 func (m *Machine) L1(core int) *cache.Cache { return m.l1[core] }
 
@@ -191,7 +229,7 @@ func (m *Machine) Directory() *coherence.Directory { return m.dir }
 // coreNode and l3Node map hardware structures to directory nodes.
 func (m *Machine) coreNode(core int) coherence.Node { return coherence.Node(core) }
 func (m *Machine) l3Node(chip int) coherence.Node {
-	return coherence.Node(m.cfg.NumCores() + chip)
+	return coherence.Node(m.ncores + chip)
 }
 
 // homeChip returns the chip whose memory controller owns a line. Lines are
@@ -304,11 +342,11 @@ func (m *Machine) lookupShared(core int, l cache.Line, c *perfctr.Counters) (sim
 		return m.cfg.Lat.L2Hit, true
 	}
 	c.L2Miss++
-	chip := m.cfg.ChipOf(core)
-	if m.l3[chip].Contains(l) {
+	chip := m.chipOf[core]
+	if wasDirty, hit := m.l3[chip].Remove(l); hit {
 		// Exclusive victim L3: a hit promotes the line back into the
-		// core's private hierarchy and removes it from L3.
-		wasDirty, _ := m.l3[chip].Remove(l)
+		// core's private hierarchy and removes it from L3. Remove probes
+		// and invalidates in one scan.
 		m.dir.RemoveSharer(l, m.l3Node(chip))
 		c.L3Loads++
 		m.installCore(core, l, wasDirty)
@@ -320,14 +358,14 @@ func (m *Machine) lookupShared(core int, l cache.Line, c *perfctr.Counters) (sim
 
 // fetchMiss services a miss from the nearest remote cache or DRAM.
 func (m *Machine) fetchMiss(core int, l cache.Line, write bool, at sim.Time, c *perfctr.Counters) sim.Cycles {
-	myChip := m.cfg.ChipOf(core)
+	myChip := m.chipOf[core]
 	var lat sim.Cycles
 	if srcChip, found := m.nearestHolderChip(core, l); found {
-		lat = m.cfg.RemoteCacheLatency(myChip, srcChip)
+		lat = m.remoteLat[myChip][srcChip]
 		c.RemoteFetches++
 	} else {
 		home := m.homeChip(l)
-		lat = m.cfg.DRAMLatency(myChip, home) + m.dramQueue(home, at)
+		lat = m.dramLat[myChip][home] + m.dramQueue(home, at)
 		c.DRAMLoads++
 	}
 	m.installCore(core, l, false)
@@ -343,19 +381,20 @@ func (m *Machine) nearestHolderChip(core int, l cache.Line) (chip int, found boo
 	if mask == 0 {
 		return 0, false
 	}
-	myChip := m.cfg.ChipOf(core)
+	myChip := m.chipOf[core]
 	best, bestDist := 0, int(^uint(0)>>1)
-	ncores := m.cfg.NumCores()
+	ncores := m.ncores
+	hop := m.hop[myChip]
 	for mm := mask; mm != 0; {
 		node := bits.TrailingZeros64(mm)
 		mm &^= 1 << uint(node)
 		var holderChip int
 		if node < ncores {
-			holderChip = m.cfg.ChipOf(node)
+			holderChip = m.chipOf[node]
 		} else {
 			holderChip = node - ncores
 		}
-		d := m.cfg.HopDistance(myChip, holderChip)
+		d := hop[holderChip]
 		if d < bestDist {
 			best, bestDist = holderChip, d
 			if d == 0 {
@@ -383,7 +422,7 @@ func (m *Machine) acquireOwnership(core int, l cache.Line, c *perfctr.Counters) 
 	if inv := m.dir.AcquireExclusive(l, node); inv != 0 {
 		extra = m.cfg.Lat.InvalidateCost
 		c.Invalidations += uint64(bits.OnesCount64(inv))
-		ncores := m.cfg.NumCores()
+		ncores := m.ncores
 		for inv != 0 {
 			n := bits.TrailingZeros64(inv)
 			inv &^= 1 << uint(n)
@@ -406,11 +445,13 @@ func (m *Machine) acquireOwnership(core int, l cache.Line, c *perfctr.Counters) 
 // maintained so the directory can treat each core's private hierarchy as a
 // single node.
 func (m *Machine) installCore(core int, l cache.Line, dirty bool) {
-	chip := m.cfg.ChipOf(core)
+	chip := m.chipOf[core]
 	node := m.coreNode(core)
 	c := m.ctr.Core(core)
 
-	if victim, vDirty, evicted := m.l2[core].Insert(l, dirty); evicted {
+	// InsertNew: every install follows a failed L2 lookup on this line
+	// (lookupShared's L2 miss), so the residency re-scan is skipped.
+	if victim, vDirty, evicted := m.l2[core].InsertNew(l, dirty); evicted {
 		c.Evictions++
 		// Maintain inclusion: the victim may still sit in L1.
 		m.l1[core].Remove(victim)
@@ -432,9 +473,10 @@ func (m *Machine) spillToL3(chip int, from coherence.Node, victim cache.Line, di
 }
 
 // installL1 inserts into L1 only; L1 victims need no bookkeeping because
-// inclusion guarantees they remain in L2.
+// inclusion guarantees they remain in L2. Every caller is on the miss
+// path after this core's L1 lookup failed, so InsertNew applies.
 func (m *Machine) installL1(core int, l cache.Line) {
-	m.l1[core].Insert(l, false)
+	m.l1[core].InsertNew(l, false)
 }
 
 // FlushAll empties every cache and the directory (cold-start between
@@ -451,6 +493,17 @@ func (m *Machine) FlushAll() {
 	for i := range m.dram {
 		m.dram[i].reset()
 	}
+}
+
+// Reset returns the machine to its just-built state for arena reuse
+// across sweep repeats: caches, directory, and DRAM queues empty
+// (FlushAll) and every performance counter zeroed. The memory image's
+// allocation history is owned by the caller and rolled back separately
+// (mem.Image.Mark / ResetTo), because only the caller knows which
+// allocations are shared build state and which are per-repeat.
+func (m *Machine) Reset() {
+	m.FlushAll()
+	m.ctr.Reset()
 }
 
 // CheckInvariants verifies the structural properties the model relies on:

@@ -115,6 +115,49 @@ func (im *Image) growTo(need uint64) {
 	im.data = data
 }
 
+// ImageMark is a point in an image's allocation history, taken with Mark
+// and restored with ResetTo.
+type ImageMark struct {
+	next    Addr
+	objects int
+}
+
+// Mark captures the allocator's current position so ResetTo can roll the
+// image back to it. The sweep engine marks an image after the shared
+// machine build and resets to the mark between repeats, reusing the build
+// instead of re-zeroing and re-populating megabytes per repeat.
+func (im *Image) Mark() ImageMark {
+	return ImageMark{next: im.next, objects: len(im.objects)}
+}
+
+// ResetTo rolls the bump allocator back to a mark taken on this image.
+// Ownership rules (the arena contract, DESIGN.md §12):
+//
+//   - Objects registered after the mark must describe memory allocated
+//     after the mark; ResetTo drops every object based at or past the
+//     mark's allocation frontier and panics if the registry still holds
+//     more objects than the mark recorded (a post-mark registration
+//     inside pre-mark memory cannot be rolled back).
+//   - Bytes written after the mark are not re-zeroed; callers that
+//     re-allocate the freed region must not read bytes they did not
+//     write. (The execution substrate's context buffers qualify: they are
+//     charged, never read.)
+//   - Backing-array growth is retained — addresses are stable, so a
+//     grown image behaves identically to a fresh one of the grown size.
+func (im *Image) ResetTo(m ImageMark) {
+	keep := len(im.objects)
+	for keep > 0 && im.objects[keep-1].Base >= m.next {
+		im.objects[keep-1] = nil
+		keep--
+	}
+	if keep > m.objects {
+		panic(fmt.Sprintf("mem: ResetTo cannot drop object %q registered inside pre-mark memory",
+			im.objects[keep-1].Name))
+	}
+	im.objects = im.objects[:keep]
+	im.next = m.next
+}
+
 // AllocObject allocates a span and registers it as a named object. Objects
 // are aligned to cache lines (64 bytes) so that distinct objects never
 // share a line — false sharing would otherwise confound placement.

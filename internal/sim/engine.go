@@ -113,6 +113,21 @@ type Engine struct {
 	procs   int // live (not yet finished) procs
 	running *Proc
 	stopped bool
+
+	// limit is the current Run's time limit (0 = none). Proc.Sleep's
+	// fast-forward path must not advance now past it, because Run would
+	// otherwise have parked the proc's wake event beyond the limit.
+	limit Time
+
+	// active counts busy execution contexts (cores holding a thread),
+	// maintained by the substrate through AddActive. It gates nothing —
+	// fast-forward is decided purely by heap order — but it lets the
+	// engine attribute skipped time to dead time (all cores idle).
+	active int
+
+	deadTime   Cycles // cycles skipped while no context was active
+	fastSleeps uint64 // Sleeps that fast-forwarded without an event
+	dispatched uint64 // events popped by Run
 }
 
 // NewEngine returns an engine with time at zero, no pending events, and
@@ -148,6 +163,10 @@ func (e *Engine) Now() Time { return e.now }
 // Live returns the number of spawned procs that have not finished.
 func (e *Engine) Live() int { return e.procs }
 
+// Pending returns the number of queued events. A drained engine (Live and
+// Pending both zero) is eligible for Reset.
+func (e *Engine) Pending() int { return len(e.events) }
+
 // At schedules fn to run in engine context at time t. Scheduling in the
 // past (t < Now) panics: it would silently reorder history.
 func (e *Engine) At(t Time, fn func()) {
@@ -157,8 +176,17 @@ func (e *Engine) At(t Time, fn func()) {
 	e.push(event{at: t, fn: fn})
 }
 
-// After schedules fn to run in engine context d cycles from now.
-func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
+// After schedules fn to run in engine context d cycles from now. A delay
+// that would overflow simulated time panics explicitly instead of wrapping
+// past zero and tripping At's scheduled-before-now check with a misleading
+// message.
+func (e *Engine) After(d Cycles, fn func()) {
+	t := e.now + d
+	if t < e.now {
+		panic(fmt.Sprintf("sim: After(%d) overflows simulated time (now=%d)", d, e.now))
+	}
+	e.At(t, fn)
+}
 
 // Every schedules fn to run every period cycles, starting one period from
 // now, until fn returns false or the run ends.
@@ -189,6 +217,7 @@ func (e *Engine) push(ev event) {
 // time. Events at exactly t == limit still fire.
 func (e *Engine) Run(limit Time) Time {
 	e.stopped = false
+	e.limit = limit
 	for len(e.events) > 0 && !e.stopped {
 		if limit != 0 && e.events[0].at > limit {
 			// Leave the event pending so a later Run can continue.
@@ -199,7 +228,11 @@ func (e *Engine) Run(limit Time) Time {
 		if ev.at < e.now {
 			panic("sim: event queue went backwards")
 		}
+		if e.active == 0 && ev.at > e.now {
+			e.deadTime += ev.at - e.now
+		}
 		e.now = ev.at
+		e.dispatched++
 		if ev.fn != nil {
 			ev.fn()
 			continue
@@ -240,3 +273,54 @@ func (e *Engine) dispatch(p *Proc) {
 // Running returns the proc currently executing, or nil when the engine is
 // running a timer callback or is between events.
 func (e *Engine) Running() *Proc { return e.running }
+
+// AddActive registers delta busy execution contexts. The execution
+// substrate calls AddActive(+1) when a core goes from idle to holding a
+// thread and AddActive(-1) when it goes idle again, so ActiveCount()==0
+// means "every core is idle" and any simulated time the engine skips over
+// is dead time, not modeled work. Registration is bookkeeping only: the
+// fast-forward decision itself depends purely on (at, seq) heap order, so
+// an unregistered driver cannot make runs diverge.
+func (e *Engine) AddActive(delta int) {
+	e.active += delta
+	if e.active < 0 {
+		panic("sim: negative active context count")
+	}
+}
+
+// ActiveCount returns the number of registered busy contexts.
+func (e *Engine) ActiveCount() int { return e.active }
+
+// DeadTime returns the simulated cycles skipped while no context was
+// active — time the engine fast-forwarded over instead of simulating.
+func (e *Engine) DeadTime() Cycles { return e.deadTime }
+
+// FastSleeps returns how many Proc.Sleep calls took the fast-forward path
+// (advanced time without scheduling an event or switching goroutines).
+func (e *Engine) FastSleeps() uint64 { return e.fastSleeps }
+
+// EventsDispatched returns how many events Run has popped. Tests use it to
+// assert coalescing contracts: a batched operation must cost one event, not
+// one per line or per request.
+func (e *Engine) EventsDispatched() uint64 { return e.dispatched }
+
+// Reset returns the engine to its initial state — time zero, empty queue,
+// the given seed — while keeping the event heap's backing array, so a sweep
+// can reuse one engine across repeats without reallocating. It panics if
+// the previous run left live procs or pending events: an arena reset is
+// only sound on a fully drained engine.
+func (e *Engine) Reset(seed uint64) {
+	if e.running != nil || e.procs != 0 || len(e.events) != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live procs and %d pending events", e.procs, len(e.events)))
+	}
+	e.now = 0
+	e.seq = 0
+	e.seed = seed
+	e.stopped = false
+	e.limit = 0
+	e.active = 0
+	e.deadTime = 0
+	e.fastSleeps = 0
+	e.dispatched = 0
+	e.events = e.events[:0]
+}

@@ -81,10 +81,33 @@ func (p *Proc) Now() Time { return p.eng.now }
 // Sleep suspends the proc for d cycles of simulated time. Sleep(0) yields
 // to the engine and resumes after other events scheduled for the current
 // instant.
+//
+// Fast-forward: when the wake time strictly precedes every pending event
+// (and no Stop or Run limit intervenes), the proc's wake event would be
+// popped next with nothing in between, so Sleep jumps Engine.now straight
+// to the wake time and returns without a heap push or goroutine switch.
+// Strictness preserves the (at, seq) contract: an equal-time pending event
+// carries a smaller seq and must fire first, so it forces the slow path.
+//
+//o2:hotpath
 func (p *Proc) Sleep(d Cycles) {
 	p.mustBeRunning("Sleep")
+	e := p.eng
+	target := e.now + d
+	if target < e.now {
+		sleepOverflow(d, e.now)
+	}
+	if !e.stopped && (e.limit == 0 || target <= e.limit) &&
+		(len(e.events) == 0 || target < e.events[0].at) {
+		if e.active == 0 {
+			e.deadTime += d
+		}
+		e.fastSleeps++
+		e.now = target
+		return
+	}
 	p.state = procSleeping
-	p.eng.push(event{at: p.eng.now + d, p: p})
+	e.push(event{at: target, p: p})
 	p.switchToEngine()
 }
 
@@ -119,6 +142,11 @@ func (p *Proc) Join(target *Proc) {
 	}
 	target.waiters = append(target.waiters, p)
 	p.Park()
+}
+
+// sleepOverflow lives outside Sleep so the hot path stays free of fmt.
+func sleepOverflow(d Cycles, now Time) {
+	panic(fmt.Sprintf("sim: Sleep(%d) overflows simulated time (now=%d)", d, now))
 }
 
 func (p *Proc) switchToEngine() {

@@ -112,6 +112,7 @@ type Histogram struct {
 	Bounds []float64
 	Counts []int64
 	total  int64
+	max    float64 // largest observation; bounds-safe cap for Quantile
 }
 
 // NewHistogram builds a histogram with buckets (0, first], doubling up to
@@ -151,6 +152,9 @@ func NewHistogramGrowth(first, growth float64, nbuckets int) *Histogram {
 //
 //o2:hotpath
 func (h *Histogram) Add(x float64) {
+	if h.total == 0 || x > h.max {
+		h.max = x
+	}
 	h.total++
 	for i, b := range h.Bounds {
 		if x <= b {
@@ -163,6 +167,25 @@ func (h *Histogram) Add(x float64) {
 
 // Total returns the number of recorded observations.
 func (h *Histogram) Total() int64 { return h.total }
+
+// Max returns the largest recorded observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Reset zeroes the recorded observations while keeping the bucket bounds,
+// so one histogram can be reused across sweep repeats without
+// reallocating its count arrays.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.total = 0
+	h.max = 0
+}
 
 // Merge folds other's counts into h. The histograms must have identical
 // bucket bounds; mismatched bounds are rejected because summing counts
@@ -181,6 +204,9 @@ func (h *Histogram) Merge(other *Histogram) error {
 				i, other.Bounds[i], b)
 		}
 	}
+	if other.total > 0 && (h.total == 0 || other.max > h.max) {
+		h.max = other.max
+	}
 	for i, c := range other.Counts {
 		h.Counts[i] += c
 	}
@@ -188,8 +214,11 @@ func (h *Histogram) Merge(other *Histogram) error {
 	return nil
 }
 
-// Quantile returns an upper bound for the q-th quantile (0 < q <= 1) by
-// scanning bucket counts. The overflow bucket reports +Inf.
+// Quantile returns an upper bound for the q-th quantile (0 <= q <= 1) by
+// scanning bucket counts. The reported bound is capped at the exact
+// maximum observation, which keeps it finite — and tight — even when the
+// quantile lands in the unbounded overflow bucket. Out-of-range q clamps
+// to the nearest valid quantile.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -198,15 +227,18 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if target < 1 {
 		target = 1
 	}
+	if target > h.total {
+		target = h.total
+	}
 	var seen int64
 	for i, c := range h.Counts {
 		seen += c
 		if seen >= target {
-			if i < len(h.Bounds) {
+			if i < len(h.Bounds) && h.Bounds[i] < h.max {
 				return h.Bounds[i]
 			}
-			return math.Inf(1)
+			return h.max
 		}
 	}
-	return math.Inf(1)
+	return h.max
 }

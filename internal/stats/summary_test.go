@@ -155,8 +155,10 @@ func TestHistogram(t *testing.T) {
 	if q := h.Quantile(0.5); q != 20 {
 		t.Errorf("median bound = %v, want 20", q)
 	}
-	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
-		t.Errorf("q100 = %v, want +Inf", q)
+	// The overflow bucket has no finite bound; Quantile falls back to the
+	// exact maximum observation instead of +Inf.
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("q100 = %v, want 1000 (the exact max)", q)
 	}
 }
 
@@ -248,12 +250,91 @@ func TestHistogramQuantileOverflowMass(t *testing.T) {
 	h.Add(5)
 	h.Add(1000) // overflow bucket
 	h.Add(2000) // overflow bucket
-	// Two thirds of the mass is in the unbounded bucket: any quantile that
-	// lands there has no finite upper bound to report.
-	if q := h.Quantile(0.5); !math.IsInf(q, 1) {
-		t.Errorf("median with overflow-bucket mass = %v, want +Inf", q)
+	// Two thirds of the mass is in the unbounded bucket: the tightest
+	// finite bound for quantiles landing there is the exact maximum.
+	if q := h.Quantile(0.5); q != 2000 {
+		t.Errorf("median with overflow-bucket mass = %v, want 2000", q)
 	}
 	if q := h.Quantile(0.33); q != 10 {
 		t.Errorf("q33 = %v, want 10", q)
+	}
+}
+
+func TestHistogramQuantileBoundsSafe(t *testing.T) {
+	// Regression for the bounds-safety bugfix: quantiles must stay finite
+	// and within [min bucket bound, exact max] at the edges, with and
+	// without overflow-bucket mass.
+	t.Run("all mass in overflow", func(t *testing.T) {
+		h := NewHistogram(10, 3)
+		h.Add(500)
+		h.Add(700)
+		for _, q := range []float64{0, 0.5, 1} {
+			if v := h.Quantile(q); math.IsInf(v, 1) {
+				t.Errorf("Quantile(%v) = +Inf with all mass in overflow", q)
+			}
+		}
+		if v := h.Quantile(1); v != 700 {
+			t.Errorf("Quantile(1) = %v, want the exact max 700", v)
+		}
+	})
+	t.Run("q=0 reports the first occupied bucket, capped at max", func(t *testing.T) {
+		h := NewHistogram(10, 3)
+		h.Add(3)
+		if v := h.Quantile(0); v != 3 {
+			t.Errorf("Quantile(0) = %v, want 3 (single observation below its bound)", v)
+		}
+	})
+	t.Run("q=1 never exceeds the max observation", func(t *testing.T) {
+		h := NewHistogram(10, 3)
+		h.Add(15) // bucket bound 20, observation 15
+		if v := h.Quantile(1); v != 15 {
+			t.Errorf("Quantile(1) = %v, want 15", v)
+		}
+	})
+	t.Run("out-of-range q clamps", func(t *testing.T) {
+		h := NewHistogram(10, 3)
+		h.Add(5)
+		h.Add(15)
+		if v := h.Quantile(2); v != 15 {
+			t.Errorf("Quantile(2) = %v, want 15", v)
+		}
+		if v := h.Quantile(-1); v != 10 {
+			t.Errorf("Quantile(-1) = %v, want the first bucket bound 10", v)
+		}
+	})
+}
+
+func TestHistogramMaxAndReset(t *testing.T) {
+	h := NewHistogram(10, 3)
+	if h.Max() != 0 {
+		t.Errorf("empty Max = %v, want 0", h.Max())
+	}
+	h.Add(42)
+	h.Add(7)
+	if h.Max() != 42 {
+		t.Errorf("Max = %v, want 42", h.Max())
+	}
+	// Merge carries the max across.
+	g := NewHistogram(10, 3)
+	g.Add(99)
+	if err := h.Merge(g); err != nil {
+		t.Fatal(err)
+	}
+	if h.Max() != 99 {
+		t.Errorf("merged Max = %v, want 99", h.Max())
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("after Reset: total=%d max=%v", h.Total(), h.Max())
+	}
+	for _, c := range h.Counts {
+		if c != 0 {
+			t.Fatal("Reset left a nonzero bucket count")
+		}
+	}
+	// A reset histogram records like a fresh one.
+	h.Add(5)
+	if h.Max() != 5 || h.Total() != 1 {
+		t.Errorf("after Reset+Add: total=%d max=%v", h.Total(), h.Max())
 	}
 }

@@ -1,0 +1,92 @@
+package o2
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestArenaRepeatsMatchFreshRuns pins the arena's behavior-transparency
+// contract: inside a sweep, repeats after the first reuse the cell's
+// runtime through an arena reset, and every repeat must produce exactly
+// the metrics a fresh, arena-free run at the same seed produces.
+func TestArenaRepeatsMatchFreshRuns(t *testing.T) {
+	p := DefaultRunParams()
+	p.Threads = 4
+	p.Warmup = 200_000
+	p.Measure = 400_000
+
+	const repeats = 3
+	s := Sweep{
+		Name:    "arena",
+		Base:    Cell{Machine: Tiny8, Params: p},
+		Axes:    []Axis{DirCountAxis(128, 4), SchedulerAxis(Baseline, CoreTime)},
+		Repeats: repeats,
+		Seed:    23,
+		Runner:  DirLookupCell,
+		Workers: 1,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for ci, cell := range res.Cells {
+		for r := 0; r < repeats; r++ {
+			// A standalone cell has no arena, so this run builds a fresh
+			// runtime — the old per-repeat code path.
+			fresh := s.cells()[ci]
+			fresh.Repeat = r
+			fresh.Seed = CellSeed(s.Seed, fresh.Index, r)
+			fresh.Params.Seed = fresh.Seed
+			m, err := DirLookupCell(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cell.Runs[r], m) {
+				t.Errorf("cell %v repeat %d: arena run %v != fresh run %v",
+					cell.Labels, r, cell.Runs[r], m)
+			}
+		}
+	}
+}
+
+// TestArenaServiceRepeatsMatchFreshRuns is the same transparency pin for
+// the open-loop web scenario, whose runs spawn and drain a different
+// thread population (workers plus a compactor) each repeat.
+func TestArenaServiceRepeatsMatchFreshRuns(t *testing.T) {
+	load := DefaultServiceLoad()
+	load.Requests = 400
+	load.RPS = 1_000_000
+
+	const repeats = 3
+	s := Sweep{
+		Name:    "arena-web",
+		Base:    Cell{Machine: Tiny8, Web: WebSpec{DocRoots: 8, FilesPerRoot: 64}, Service: load},
+		Axes:    []Axis{CompactionAxis(0, 0.5)},
+		Repeats: repeats,
+		Seed:    31,
+		Runner:  ServiceCell,
+		Workers: 1,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for ci, cell := range res.Cells {
+		for r := 0; r < repeats; r++ {
+			fresh := s.cells()[ci]
+			fresh.Repeat = r
+			fresh.Seed = CellSeed(s.Seed, fresh.Index, r)
+			fresh.Params.Seed = fresh.Seed
+			m, err := ServiceCell(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cell.Runs[r], m) {
+				t.Errorf("cell %v repeat %d: arena run %v != fresh run %v",
+					cell.Labels, r, cell.Runs[r], m)
+			}
+		}
+	}
+}

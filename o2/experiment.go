@@ -63,6 +63,45 @@ func (e Experiment) Run(opts ...Option) (Result, error) {
 	return tree.Run(params), nil
 }
 
+// runCell is Run for sweep cells: identical construction and measurement,
+// plus arena reuse. The first repeat of a cell builds the runtime and
+// tree exactly as Run does, then parks them in the cell's arena with an
+// image mark taken after the build; later repeats roll the runtime back
+// to that mark and rerun the same tree under the repeat's seed. With a
+// nil arena it is exactly Run.
+func (e Experiment) runCell(c *Cell) (Result, error) {
+	ar := c.arena
+	if ar == nil {
+		return e.Run(WithScheduler(c.Scheduler), WithSeed(c.Seed))
+	}
+	machine, params, err := e.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	if ar.reusable() {
+		if tree, ok := ar.scenario.(*DirTree); ok {
+			ar.reset(c.Seed)
+			return tree.Run(params), nil
+		}
+	}
+	all := append([]Option{WithTopology(machine)}, e.Options...)
+	all = append(all, WithScheduler(c.Scheduler), WithSeed(c.Seed))
+	rt, err := New(all...)
+	if err != nil {
+		return Result{}, err
+	}
+	tree, err := rt.NewDirTree(e.Tree)
+	if err != nil {
+		return Result{}, err
+	}
+	// Mark after the tree is built and before the first run: everything
+	// the workload allocated is below the mark and survives resets, while
+	// per-run image allocations (thread context buffers) land above it
+	// and are rolled back.
+	ar.rt, ar.scenario, ar.mark = rt, tree, rt.mach.Image().Mark()
+	return tree.Run(params), nil
+}
+
 // Compare measures the experiment under the Baseline thread scheduler and
 // under CoreTime (each on a fresh machine) and returns both results.
 func (e Experiment) Compare() (base, coretime Result, err error) {

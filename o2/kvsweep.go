@@ -154,27 +154,16 @@ func ShardAxis(counts ...int) Axis {
 	return Axis{Name: "shards", Values: vals}
 }
 
-// KVCell is the KV scenario's sweep runner: build a fresh runtime from
-// the cell's options, build the store, drive the cell's load once. The
-// engine's derived cell seed reaches both the runtime (every internal
-// stream) and the load generator, so results are a pure function of the
-// grid position — the worker-count invariance the o2bench kv golden test
-// pins.
+// KVCell is the KV scenario's sweep runner: build the store on a runtime
+// from the cell's options (reusing the cell's arena across repeats),
+// drive the cell's load once. The engine's derived cell seed reaches both
+// the runtime (every internal stream) and the load generator, so results
+// are a pure function of the grid position — the worker-count invariance
+// the o2bench kv golden test pins.
 func KVCell(c Cell) (Metrics, error) {
-	machine := c.Machine
-	if machine.cfg.Chips == 0 { // zero value: default to the paper's machine
-		machine = AMD16
-	}
-	// Cell.Scheduler is authoritative, applied after Options — the same
-	// precedence DirLookupCell uses. PolicyAxis keeps it in sync with
-	// the policy's option bundle.
-	all := append([]Option{WithTopology(machine), WithSeed(c.Seed)}, c.Options...)
-	all = append(all, WithScheduler(c.Scheduler))
-	rt, err := New(all...)
-	if err != nil {
-		return nil, err
-	}
-	svc, err := rt.NewKVService(c.KV)
+	svc, err := scenarioForCell(&c, func(rt *Runtime) (*KVService, error) {
+		return rt.NewKVService(c.KV)
+	})
 	if err != nil {
 		return nil, err
 	}

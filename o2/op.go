@@ -13,6 +13,11 @@ import "fmt"
 // with an optional explicit op.End() on the fast path. Operations nest;
 // ending an outer operation while an inner one is still open panics, so an
 // unbalanced or crossed annotation pair cannot be expressed.
+//
+// Handles are recycled: after End, the thread's next Begin may return the
+// same *Op. Balanced usage (every End in LIFO order, as defer guarantees)
+// never observes this; what is not supported is holding a handle across a
+// later Begin and calling its End again expecting a no-op.
 type Op struct {
 	t     *Thread
 	depth int // position on the thread's operation stack, 1-based
@@ -56,7 +61,22 @@ func (t *Thread) begin(obj *Object, readOnly bool) *Op {
 	} else {
 		t.rt.ann.OpStart(t.t, obj.obj.Base)
 	}
-	op := &Op{t: t, depth: len(t.ops) + 1}
+	// Recycle the handle an earlier operation left in the stack's backing
+	// array: End pops the slice but keeps the pointer, so a thread's
+	// steady state allocates no Op per operation. Balanced usage — every
+	// End in LIFO order, including deferred ones — never observes the
+	// reuse: a stale handle's late End finds ended already true.
+	n := len(t.ops)
+	if n < cap(t.ops) {
+		t.ops = t.ops[:n+1]
+		if op := t.ops[n]; op != nil {
+			op.depth = n + 1
+			op.ended = false
+			return op
+		}
+		t.ops = t.ops[:n]
+	}
+	op := &Op{t: t, depth: n + 1}
 	t.ops = append(t.ops, op)
 	return op
 }

@@ -102,6 +102,37 @@ func (rt *Runtime) ensure(minImage int) error {
 	return nil
 }
 
+// resetForRepeat rolls a drained runtime back to its post-build state so a
+// sweep can reuse it for the next repeat of the same cell instead of
+// building a fresh one. It resets the engine (keeping the event heap's
+// backing array) under the new seed, returns every core to idle, flushes
+// all cache and counter state, and rolls the machine image back to mark —
+// the point taken right after the scenario was built. The scheduler is
+// rebuilt exactly as ensure built it, because scheduler state (CoreTime
+// placements, run-queue history) belongs to one run.
+//
+// The caller must guarantee the engine is drained (no live procs, no
+// pending events); Engine.Reset panics otherwise.
+func (rt *Runtime) resetForRepeat(seed uint64, mark mem.ImageMark) {
+	rt.eng.Reset(seed)
+	rt.sys.Reset()
+	rt.mach.Reset()
+	rt.mach.Image().ResetTo(mark)
+	rt.set.seed = seed
+	switch rt.set.sched {
+	case CoreTime:
+		// Reset the existing CoreTime runtime rather than rebuilding it:
+		// pooled opCtx records and map storage carry over, while the
+		// observable state matches a fresh core.New.
+		rt.ct.Reset()
+		rt.ann = rt.ct
+	case Affinity:
+		rt.ann = sched.NewHashAffinity(rt.set.topo.NumCores())
+	default:
+		rt.ann = sched.ThreadScheduler{}
+	}
+}
+
 // mustEnsure is ensure for paths that cannot return an error; after New's
 // validation the only failures left are programming errors.
 func (rt *Runtime) mustEnsure() {

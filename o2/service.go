@@ -84,6 +84,11 @@ type WebService struct {
 	rt   *Runtime
 	spec WebSpec
 	tree *DirTree
+
+	// scratch is Run's reusable bookkeeping (recorders, histograms, the
+	// Zipf table), so a sweep's arena-reused repeats reach a steady state
+	// that allocates almost nothing per run. Zero value is ready to use.
+	scratch svcScratch
 }
 
 // NewWebService formats the document tree inside the runtime's memory

@@ -161,6 +161,104 @@ func TestWebOverloadSemantics(t *testing.T) {
 	}
 }
 
+// TestWebTimeLimitInFlightAccounting truncates a run mid-flight and pins
+// the three-way accounting invariant: every offered request is completed,
+// dropped, or in flight — no bucket leaks — and the latency distribution
+// covers completed requests only.
+func TestWebTimeLimitInFlightAccounting(t *testing.T) {
+	load := ServiceLoad{
+		Requests:  2000,
+		RPS:       1_000_000,
+		Skew:      0.99,
+		Seed:      42,
+		TimeLimit: 1_500_000, // well before the 2000-request schedule drains
+	}
+	res := runWebPolicy(t, KVThreadScheduler, webTestSpec(), load)
+	if res.Completed+res.Dropped+res.InFlight != res.Requests {
+		t.Errorf("accounting leak: %d completed + %d dropped + %d in flight != %d offered",
+			res.Completed, res.Dropped, res.InFlight, res.Requests)
+	}
+	if res.InFlight == 0 {
+		t.Error("truncated run reported no in-flight requests; the limit did not bite")
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed before the limit")
+	}
+	// Percentiles exclude in-flight requests: every reported latency is a
+	// completed request's, so the maximum cannot exceed the truncated
+	// run's length.
+	if res.MaxLatency > float64(load.TimeLimit) {
+		t.Errorf("max latency %.0f exceeds the %d-cycle truncated run; in-flight requests leaked into the distribution",
+			res.MaxLatency, load.TimeLimit)
+	}
+	// An untruncated run of the same load must report zero in flight.
+	full := load
+	full.TimeLimit = 0
+	fres := runWebPolicy(t, KVThreadScheduler, webTestSpec(), full)
+	if fres.InFlight != 0 {
+		t.Errorf("untruncated run reported %d in flight", fres.InFlight)
+	}
+	if fres.Completed+fres.Dropped != fres.Requests {
+		t.Errorf("untruncated accounting leak: %d + %d != %d",
+			fres.Completed, fres.Dropped, fres.Requests)
+	}
+}
+
+// TestWebDirectHandoff runs the parked-worker drive end to end: an
+// underloaded run must complete everything it offers, deterministically,
+// with the same accounting invariant as the polled drive.
+func TestWebDirectHandoff(t *testing.T) {
+	load := ServiceLoad{
+		Requests:      800,
+		RPS:           1_000_000,
+		Skew:          0.99,
+		Seed:          42,
+		DirectHandoff: true,
+	}
+	a := runWebPolicy(t, KVThreadScheduler, webTestSpec(), load)
+	b := runWebPolicy(t, KVThreadScheduler, webTestSpec(), load)
+	if a != b {
+		t.Errorf("direct-handoff run not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Completed != uint64(load.Requests) || a.Dropped != 0 || a.InFlight != 0 {
+		t.Errorf("underloaded direct-handoff run should complete everything: %+v", a)
+	}
+	if a.P50 <= 0 || a.MaxLatency < a.P999 {
+		t.Errorf("degenerate latency distribution: %+v", a)
+	}
+	// The two drives share the schedule and the queue: offered counts and
+	// the served total must agree even though worker interleaving (and so
+	// per-request placement) differs.
+	polled := load
+	polled.DirectHandoff = false
+	p := runWebPolicy(t, KVThreadScheduler, webTestSpec(), polled)
+	if p.Completed != a.Completed || p.Requests != a.Requests {
+		t.Errorf("drive modes disagree on accounting: handoff %+v vs polled %+v", a, p)
+	}
+}
+
+// TestWebDirectHandoffUnderOverloadAndLimit combines everything: the
+// parked-worker drive past saturation with a time limit still satisfies
+// the three-way invariant.
+func TestWebDirectHandoffUnderOverloadAndLimit(t *testing.T) {
+	load := ServiceLoad{
+		Requests:      1200,
+		RPS:           8_000_000,
+		QueueCap:      16,
+		Seed:          42,
+		DirectHandoff: true,
+		TimeLimit:     400_000,
+	}
+	res := runWebPolicy(t, KVThreadScheduler, webTestSpec(), load)
+	if res.Completed+res.Dropped+res.InFlight != res.Requests {
+		t.Errorf("accounting leak: %d + %d + %d != %d",
+			res.Completed, res.Dropped, res.InFlight, res.Requests)
+	}
+	if res.Dropped == 0 {
+		t.Error("overloaded run dropped nothing")
+	}
+}
+
 // TestWebLatencyQuantileShape checks internal consistency of the reported
 // distribution on an ordinary cell.
 func TestWebLatencyQuantileShape(t *testing.T) {

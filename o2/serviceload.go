@@ -2,7 +2,12 @@ package o2
 
 // The WebService open-loop driver: a seeded arrival process feeds a
 // bounded request queue drained by worker threads, with every request's
-// enqueue→done latency recorded into per-worker histograms.
+// enqueue→done latency recorded into per-worker histograms. Two drive
+// modes share the queue and the schedule: the default polls the arrival
+// schedule with timed worker sleeps (one pre-scheduled event per
+// arrival), and DirectHandoff parks idle workers on a FIFO wait list
+// with a single chained arrival event waking them — the constant-space
+// form a million-request soak run needs.
 //
 // Determinism contract (pinned by the o2bench web golden test): one run is
 // a pure function of (topology, options, WebSpec, ServiceLoad, seed).
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -107,6 +113,18 @@ type ServiceLoad struct {
 	// CompactionWorkers is the compaction thread count (default 1 when
 	// CompactionShare > 0; ignored when it is 0).
 	CompactionWorkers int
+	// TimeLimit, when non-zero, truncates the run after that many cycles
+	// of simulated time: requests still queued or being served at the
+	// limit are reported as InFlight, not Completed. The runtime cannot
+	// be reused after a truncated run (its threads never finish).
+	TimeLimit Cycles
+	// DirectHandoff selects the parked-worker drive: idle workers block
+	// on a FIFO wait list and each arrival wakes one, instead of workers
+	// polling the arrival schedule with timed sleeps. Arrival events are
+	// chained — each arrival schedules the next — so the engine holds one
+	// pending arrival instead of all Requests of them, which is what
+	// makes million-request soak runs cheap.
+	DirectHandoff bool
 	// Seed seeds the load's RNG streams; 0 derives one from the runtime
 	// seed.
 	Seed uint64
@@ -159,11 +177,17 @@ func (l ServiceLoad) validate() error {
 
 // ServiceResult is one measured open-loop run.
 type ServiceResult struct {
-	// Requests is the number of requests offered (arrived), Completed how
-	// many were served, Dropped how many found the queue full.
+	// Requests is the number of requests offered (arrived). Every offered
+	// request lands in exactly one bucket: Completed (served), Dropped
+	// (found the queue full), or InFlight (still queued or being served
+	// when a TimeLimit truncated the run), so Completed + Dropped +
+	// InFlight == Requests always holds. InFlight is zero for untruncated
+	// runs. Latency statistics cover Completed requests only — an
+	// in-flight request has no completion time to measure.
 	Requests  uint64
 	Completed uint64
 	Dropped   uint64
+	InFlight  uint64
 	// Workers is the resolved server worker count.
 	Workers int
 	// Elapsed is the simulated time from the drive's start until the last
@@ -199,38 +223,108 @@ type ServiceResult struct {
 }
 
 // svcState is the driver's bookkeeping, mutated only in engine context.
+// The request queue is a fixed-capacity ring sized to QueueCap, so a
+// million-request soak run queues in constant space instead of growing a
+// slice one entry per request.
 type svcState struct {
 	arrivals []Time
-	queue    []int32
-	head     int
-	cap      int
+	ring     []int32 // fixed-size ring buffer of queued request indices
+	head     int     // ring index of the oldest queued request
+	count    int     // queued requests
 	arrived  int
 	dropped  int
 	served   int
+	idle     sched.WaitList // parked workers (DirectHandoff only)
 }
 
 // finished reports whether every offered request has been served or
 // dropped — the signal that stops the background compaction class.
 func (st *svcState) finished() bool { return st.served+st.dropped == len(st.arrivals) }
 
-// enqueue admits request i or drops it when the queue is full.
-func (st *svcState) enqueue(i int) {
+// enqueueNext admits the next scheduled request or drops it when the
+// queue is full. It is the single arrival callback: the request's index
+// is the arrival cursor itself, which is what lets every arrival event
+// share one closure instead of capturing its index in a per-request one.
+func (st *svcState) enqueueNext() {
+	i := st.arrived
 	st.arrived++
-	if len(st.queue)-st.head >= st.cap {
+	if st.count == len(st.ring) {
 		st.dropped++
 		return
 	}
-	st.queue = append(st.queue, int32(i))
+	st.ring[(st.head+st.count)%len(st.ring)] = int32(i)
+	st.count++
 }
 
 // pop removes the oldest queued request.
 func (st *svcState) pop() (int, bool) {
-	if st.head == len(st.queue) {
+	if st.count == 0 {
 		return 0, false
 	}
-	i := st.queue[st.head]
-	st.head++
+	i := st.ring[st.head]
+	st.head = (st.head + 1) % len(st.ring)
+	st.count--
 	return int(i), true
+}
+
+// svcScratch is WebService.Run's reusable bookkeeping. Everything here is
+// either fully reset (histograms, recorder moments) or fully rewritten
+// (the zipf table on a shape change) before a run reads it, so reuse is
+// invisible to results — it only removes the per-run allocations that
+// would otherwise dominate an arena-reused sweep repeat's steady state.
+type svcScratch struct {
+	zipf      *workload.Zipf
+	zipfN     int
+	zipfSkew  float64
+	recorders []*latRecorder
+	merged    *stats.Histogram
+	names     []string
+}
+
+// zipfFor returns a Zipf table for (n, skew), rebuilding only when the
+// shape differs from the cached one.
+func (sc *svcScratch) zipfFor(n int, skew float64) (*workload.Zipf, error) {
+	if sc.zipf != nil && sc.zipfN == n && sc.zipfSkew == skew {
+		return sc.zipf, nil
+	}
+	z, err := workload.NewZipf(n, skew)
+	if err != nil {
+		return nil, err
+	}
+	sc.zipf, sc.zipfN, sc.zipfSkew = z, n, skew
+	return z, nil
+}
+
+// recordersFor returns the first n recorders, reset, growing the pool as
+// needed.
+func (sc *svcScratch) recordersFor(n int) []*latRecorder {
+	for len(sc.recorders) < n {
+		sc.recorders = append(sc.recorders, &latRecorder{hist: newLatencyHistogram()})
+	}
+	recs := sc.recorders[:n]
+	for _, rec := range recs {
+		rec.hist.Reset()
+		rec.sum, rec.max = 0, 0
+	}
+	return recs
+}
+
+// mergedHist returns the reset merge target.
+func (sc *svcScratch) mergedHist() *stats.Histogram {
+	if sc.merged == nil {
+		sc.merged = newLatencyHistogram()
+	} else {
+		sc.merged.Reset()
+	}
+	return sc.merged
+}
+
+// workerName returns the cached name for server worker w.
+func (sc *svcScratch) workerName(w int) string {
+	for len(sc.names) <= w {
+		sc.names = append(sc.names, fmt.Sprintf("web worker %d", len(sc.names)))
+	}
+	return sc.names[w]
 }
 
 // latRecorder is one worker's latency accounting: the histogram for
@@ -260,7 +354,7 @@ func (s *WebService) Run(load ServiceLoad) (ServiceResult, error) {
 	if err := load.validate(); err != nil {
 		return ServiceResult{}, err
 	}
-	zipf, err := workload.NewZipf(s.spec.DocRoots, load.Skew)
+	zipf, err := s.scratch.zipfFor(s.spec.DocRoots, load.Skew)
 	if err != nil {
 		return ServiceResult{}, err
 	}
@@ -288,31 +382,60 @@ func (s *WebService) Run(load ServiceLoad) (ServiceResult, error) {
 		reqFile[i] = int32(contentRNG.Intn(s.spec.FilesPerRoot))
 	}
 
-	st := &svcState{arrivals: arrivals, cap: load.QueueCap}
-	// Arrival events are scheduled before any thread spawns, so at equal
-	// timestamps the engine fires the enqueue before it wakes a worker
-	// sleeping toward that arrival (events tie-break in schedule order):
-	// a woken worker always observes the request already queued.
-	for i := range arrivals {
-		i := i
-		rt.At(arrivals[i], func() { st.enqueue(i) })
+	st := &svcState{arrivals: arrivals, ring: make([]int32, load.QueueCap)}
+	if load.DirectHandoff {
+		// Chained arrivals: each arrival enqueues, wakes one parked
+		// worker, and schedules the next arrival, so the engine carries a
+		// single pending arrival event instead of all Requests of them.
+		// The final arrival wakes every parked worker so they can observe
+		// that the schedule is exhausted and exit.
+		var arrive func()
+		arrive = func() {
+			st.enqueueNext()
+			st.idle.WakeOne()
+			if st.arrived < len(st.arrivals) {
+				rt.At(st.arrivals[st.arrived], arrive)
+			} else {
+				st.idle.WakeAll()
+			}
+		}
+		if len(arrivals) > 0 {
+			rt.At(arrivals[0], arrive)
+		}
+	} else {
+		// Arrival events are scheduled before any thread spawns, so at
+		// equal timestamps the engine fires the enqueue before it wakes a
+		// worker sleeping toward that arrival (events tie-break in
+		// schedule order): a woken worker always observes the request
+		// already queued. One shared callback serves every arrival — the
+		// request index is the arrival cursor (arrivals fire in schedule
+		// order), so nothing needs capturing per request.
+		arrive := st.enqueueNext
+		for _, at := range arrivals {
+			rt.At(at, arrive)
+		}
 	}
 
 	before := rt.mach.Counters().Total()
 	var done Time
-	recorders := make([]*latRecorder, load.Workers)
+	recorders := s.scratch.recordersFor(load.Workers)
 	homes := RoundRobin(load.Workers+load.CompactionWorkers, rt.NumCores())
 	for w := 0; w < load.Workers; w++ {
-		rec := &latRecorder{hist: newLatencyHistogram()}
-		recorders[w] = rec
-		rt.Go(fmt.Sprintf("web worker %d", w), homes[w], func(t *Thread) {
+		rec := recorders[w]
+		rt.Go(s.scratch.workerName(w), homes[w], func(t *Thread) {
 			for {
 				i, ok := st.pop()
 				if !ok {
 					if st.arrived == len(st.arrivals) {
 						return // queue drained and no arrivals left
 					}
-					t.IdleUntil(st.arrivals[st.arrived])
+					if load.DirectHandoff {
+						// Park until an arrival hands a request over (or
+						// the final arrival wakes everyone to exit).
+						st.idle.Wait(t.t)
+					} else {
+						t.IdleUntil(st.arrivals[st.arrived])
+					}
 					continue
 				}
 				s.Resolve(t, int(reqRoot[i]), int(reqFile[i]))
@@ -338,14 +461,19 @@ func (s *WebService) Run(load ServiceLoad) (ServiceResult, error) {
 			}
 		})
 	}
-	rt.Run()
+	if load.TimeLimit > 0 {
+		rt.RunUntil(start + load.TimeLimit)
+	} else {
+		rt.Run()
+	}
 
 	delta := rt.mach.Counters().Total().Sub(before)
-	merged := newLatencyHistogram()
+	merged := s.scratch.mergedHist()
 	res := ServiceResult{
 		Requests:      uint64(st.arrived),
 		Completed:     uint64(st.served),
 		Dropped:       uint64(st.dropped),
+		InFlight:      uint64(st.arrived - st.served - st.dropped),
 		Workers:       load.Workers,
 		Elapsed:       Cycles(done - start),
 		Scheduler:     rt.SchedulerName(),
@@ -366,17 +494,13 @@ func (s *WebService) Run(load ServiceLoad) (ServiceResult, error) {
 	}
 	if merged.Total() > 0 {
 		res.MeanLatency = sum / float64(merged.Total())
-		// Quantile reports a bucket upper bound, +Inf from the overflow
-		// bucket; every observation is ≤ MaxLatency, so that is the
-		// tightest finite bound to clamp to.
-		q := func(p float64) float64 {
-			v := merged.Quantile(p)
-			if v > res.MaxLatency {
-				v = res.MaxLatency
-			}
-			return v
-		}
-		res.P50, res.P95, res.P99, res.P999 = q(0.50), q(0.95), q(0.99), q(0.999)
+		// Quantile caps its bucket bound at the histogram's exact maximum
+		// observation, so tail quantiles are finite — and tight — even
+		// when the mass lands in the overflow bucket.
+		res.P50 = merged.Quantile(0.50)
+		res.P95 = merged.Quantile(0.95)
+		res.P99 = merged.Quantile(0.99)
+		res.P999 = merged.Quantile(0.999)
 	}
 	if res.Elapsed > 0 {
 		seconds := float64(res.Elapsed) / rt.ClockHz()

@@ -40,26 +40,16 @@ func CompactionAxis(shares ...float64) Axis {
 	return Axis{Name: "compaction", Values: vals}
 }
 
-// ServiceCell is the web scenario's sweep runner: build a fresh runtime
-// from the cell's options, build the service, offer the cell's open-loop
-// load once. The engine's derived cell seed reaches both the runtime and
-// the load generator, so results are a pure function of the grid position
-// — the worker-count invariance the o2bench web golden test pins.
+// ServiceCell is the web scenario's sweep runner: build the service on a
+// runtime from the cell's options (reusing the cell's arena across
+// repeats), offer the cell's open-loop load once. The engine's derived
+// cell seed reaches both the runtime and the load generator, so results
+// are a pure function of the grid position — the worker-count invariance
+// the o2bench web golden test pins.
 func ServiceCell(c Cell) (Metrics, error) {
-	machine := c.Machine
-	if machine.cfg.Chips == 0 { // zero value: default to the paper's machine
-		machine = AMD16
-	}
-	// Cell.Scheduler is authoritative, applied after Options — the same
-	// precedence DirLookupCell and KVCell use; PolicyAxis keeps it in
-	// sync with the policy's option bundle.
-	all := append([]Option{WithTopology(machine), WithSeed(c.Seed)}, c.Options...)
-	all = append(all, WithScheduler(c.Scheduler))
-	rt, err := New(all...)
-	if err != nil {
-		return nil, err
-	}
-	svc, err := rt.NewWebService(c.Web)
+	svc, err := scenarioForCell(&c, func(rt *Runtime) (*WebService, error) {
+		return rt.NewWebService(c.Web)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +118,35 @@ func QuickWebConfig() WebConfig {
 	cfg.Spec = WebSpec{DocRoots: 24, FilesPerRoot: 128}
 	cfg.Load.Requests = 800
 	cfg.Rates = []float64{500_000, 1_000_000, 2_000_000}
+	return cfg
+}
+
+// SoakWebConfig returns the endurance configuration behind `o2bench
+// soak`: one million requests per cell through the direct-handoff drive
+// (parked workers, one chained arrival event) against the AMD16 machine,
+// baseline vs CoreTime. The point is engine throughput at scale — the
+// run must finish in seconds, in constant queue space, with exact
+// accounting across a million requests — rather than a new comparison
+// axis.
+func SoakWebConfig() WebConfig {
+	cfg := DefaultWebConfig()
+	cfg.Spec = WebSpec{DocRoots: 64, FilesPerRoot: 256}
+	cfg.Load.Requests = 1_000_000
+	cfg.Load.DirectHandoff = true
+	cfg.Rates = []float64{600_000}
+	cfg.CompactionShares = []float64{0}
+	cfg.Policies = []KVPolicy{KVThreadScheduler, KVCoreTime}
+	return cfg
+}
+
+// QuickSoakWebConfig returns the CI-scale soak: the Tiny8 machine and
+// 50k requests per cell, same drive and axes.
+func QuickSoakWebConfig() WebConfig {
+	cfg := SoakWebConfig()
+	cfg.Machine = Tiny8
+	cfg.Spec = WebSpec{DocRoots: 24, FilesPerRoot: 128}
+	cfg.Load.Requests = 50_000
+	cfg.Rates = []float64{1_000_000}
 	return cfg
 }
 

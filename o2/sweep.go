@@ -13,12 +13,14 @@ import (
 
 // Sweep is the Experiment layer's parameter-sweep engine: a declarative
 // grid of configurations (the cross product of Axes applied to Base),
-// executed by a bounded worker pool. Each grid cell runs Repeats times on
-// a fresh runtime with a deterministic per-cell seed (see CellSeed), and
-// the repeats are aggregated into mean/stddev/min/max summaries per
-// metric. Results are independent of the worker count: the same Sweep with
-// the same Seed produces byte-identical output at Workers=1 and
-// Workers=N.
+// executed by a bounded worker pool. Each grid cell runs Repeats times
+// with a deterministic per-cell seed (see CellSeed), and the repeats are
+// aggregated into mean/stddev/min/max summaries per metric. A cell's
+// repeats run sequentially on one worker sharing a cellArena, so
+// arena-aware runners reuse the built runtime across repeats instead of
+// reallocating it. Results are independent of the worker count: the same
+// Sweep with the same Seed produces byte-identical output at Workers=1
+// and Workers=N.
 //
 // A Figure-4-style comparison over tree sizes and schedulers:
 //
@@ -194,6 +196,13 @@ type Cell struct {
 	Params RunParams
 	// Options apply to the runtime after WithTopology/WithSeed.
 	Options []Option
+
+	// arena carries reusable runtime state between the sequential repeats
+	// of one cell (see cellArena). The sweep engine installs it; runners
+	// that understand it reuse the built runtime across repeats, and
+	// runners that ignore it keep building fresh runtimes. Nil for cells
+	// run outside a sweep.
+	arena *cellArena
 }
 
 // Metrics is one measurement's named values. Standard runners report
@@ -204,10 +213,11 @@ type Metrics map[string]float64
 // DirLookupCell is the standard sweep runner: one directory-lookup
 // Experiment run of the cell. It is Experiment.Run underneath — the same
 // code path Experiment.Compare uses — so sweep cells and hand-rolled
-// experiments cannot drift.
+// experiments cannot drift; inside a sweep the cell's arena lets repeats
+// after the first reuse the built runtime and tree.
 func DirLookupCell(c Cell) (Metrics, error) {
 	exp := Experiment{Machine: c.Machine, Tree: c.Tree, Params: c.Params, Options: c.Options}
-	res, err := exp.Run(WithScheduler(c.Scheduler), WithSeed(c.Seed))
+	res, err := exp.runCell(&c)
 	if err != nil {
 		return nil, err
 	}
@@ -338,11 +348,13 @@ func (s Sweep) cells() []Cell {
 	return out
 }
 
-// Run executes the sweep and returns the aggregated results. Cells ×
-// repeats are distributed over the worker pool; each measurement runs on a
-// fresh runtime seeded with CellSeed, so no state — RNG, caches, machine
-// counters — is shared between concurrent measurements. The first error
-// (in grid order, independent of scheduling) aborts the result.
+// Run executes the sweep and returns the aggregated results. Cells are
+// distributed over the worker pool and each cell's repeats run
+// sequentially on its worker; every measurement is seeded with CellSeed
+// and no state — RNG, caches, machine counters — is shared between
+// concurrent measurements (repeats of one cell share an arena, but only
+// after the previous repeat has fully drained). The first error (in grid
+// order, independent of scheduling) aborts the result.
 func (s Sweep) Run() (*SweepResult, error) {
 	if s.Runner == nil {
 		return nil, fmt.Errorf("o2: Sweep %q has no Runner", s.Name)
@@ -357,17 +369,15 @@ func (s Sweep) Run() (*SweepResult, error) {
 		repeats = 1
 	}
 	cells := s.cells()
-	units := len(cells) * repeats
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > units {
-		workers = units
+	if workers > len(cells) {
+		workers = len(cells)
 	}
 
-	type unit struct{ cell, rep int }
-	jobs := make(chan unit)
+	jobs := make(chan int)
 	runs := make([][]Metrics, len(cells))
 	seeds := make([][]uint64, len(cells))
 	errs := make([][]error, len(cells))
@@ -404,23 +414,35 @@ func (s Sweep) Run() (*SweepResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for u := range jobs {
-				c := cells[u.cell]
-				c.Repeat = u.rep
-				c.Seed = CellSeed(s.Seed, c.Index, u.rep)
-				c.Params.Seed = c.Seed
-				m, err := s.Runner(c)
-				runs[u.cell][u.rep] = m
-				seeds[u.cell][u.rep] = c.Seed
-				errs[u.cell][u.rep] = err
-				cellDone(u.cell)
+			for ci := range jobs {
+				// A cell's repeats run sequentially on one worker so they
+				// can share an arena: the first repeat builds the runtime
+				// and scenario, later repeats reset and reuse them.
+				// Determinism is unaffected — each repeat's behavior is a
+				// pure function of its CellSeed either way.
+				arena := &cellArena{}
+				for r := 0; r < repeats; r++ {
+					c := cells[ci]
+					c.Repeat = r
+					c.Seed = CellSeed(s.Seed, c.Index, r)
+					c.Params.Seed = c.Seed
+					c.arena = arena
+					m, err := s.Runner(c)
+					runs[ci][r] = m
+					seeds[ci][r] = c.Seed
+					errs[ci][r] = err
+					if err != nil {
+						// A failed repeat may leave the arena half-built;
+						// give the next repeat a clean slate.
+						arena = &cellArena{}
+					}
+					cellDone(ci)
+				}
 			}
 		}()
 	}
 	for ci := range cells {
-		for r := 0; r < repeats; r++ {
-			jobs <- unit{ci, r}
-		}
+		jobs <- ci
 	}
 	close(jobs)
 	wg.Wait()
