@@ -21,6 +21,9 @@
 //	o2bench soak [-quick] [-seed N] [-workers N] [-repeats N] [-json]
 //	                                    engine endurance: one million
 //	                                    direct-handoff requests per cell
+//	o2bench scale [-quick] [-seed N] [-workers N] [-repeats N] [-json]
+//	                                    big-machine sweep: 16-256 cores ×
+//	                                    service × policy on the NUMA family
 //	o2bench latency                     §5 latency table
 //	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
 //	o2bench ablation -exp=NAME          clustering|replication|replacement|
@@ -123,6 +126,8 @@ func run(cmd string, args []string) error {
 		return runWeb(args)
 	case "soak":
 		return runSoak(args)
+	case "scale":
+		return runScale(args)
 	case "latency":
 		return runLatency()
 	case "migration":
@@ -160,6 +165,9 @@ func usage() {
                                      under background compaction interference
   o2bench soak [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
                                      engine endurance: one million direct-handoff requests per cell
+  o2bench scale [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
+                                     big-machine sweep: 16-256 cores x service x policy,
+                                     per-core working sets, saturating NUMA bandwidth
   o2bench latency                    hardware latency table (§5)
   o2bench migration [-trials N]      migration cost microbenchmark (§5)
   o2bench ablation -exp=NAME         clustering|replication|replacement|migcost|hetero|paths|single|all
@@ -416,6 +424,64 @@ func runSoak(args []string) error {
 	return emitSoak(os.Stdout, cfg, format)
 }
 
+// scaleFlags parses the scale subcommand's flags.
+func scaleFlags(args []string) (o2.ScaleConfig, outFormat, error) {
+	fs := flag.NewFlagSet("scale", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sweep (16- and 64-core machines, shorter windows)")
+	seed := fs.Uint64("seed", 1, "base RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-cell sweep results")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all host CPUs)")
+	repeats := fs.Int("repeats", 1, "measurements per grid cell (mean/stddev reported)")
+	if err := fs.Parse(args); err != nil {
+		return o2.ScaleConfig{}, formatTable, err
+	}
+	cfg := o2.DefaultScaleConfig()
+	if *quick {
+		cfg = o2.QuickScaleConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Repeats = *repeats
+	cfg.Progress = os.Stderr
+	format, err := parseFormat(*jsonOut, *csv)
+	if err != nil {
+		return o2.ScaleConfig{}, formatTable, err
+	}
+	return cfg, format, nil
+}
+
+// emitScale runs the big-machine sweep and renders it to w. Split from
+// runScale so the golden test can pin the -json schema on a reduced
+// configuration.
+func emitScale(w io.Writer, cfg o2.ScaleConfig, format outFormat) error {
+	cfg, sweep := o2.ScaleSweep(cfg)
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case formatJSON:
+		return res.WriteJSON(w)
+	case formatCSV:
+		o2.WriteScaleCSV(w, res)
+		return nil
+	}
+	last := cfg.Machines[len(cfg.Machines)-1]
+	title := fmt.Sprintf("Scale: %d machines up to %s (%d cores), per-core working sets",
+		len(cfg.Machines), last.Name(), last.NumCores())
+	o2.WriteScaleTable(w, title, res)
+	return nil
+}
+
+func runScale(args []string) error {
+	cfg, format, err := scaleFlags(args)
+	if err != nil {
+		return err
+	}
+	return emitScale(os.Stdout, cfg, format)
+}
+
 func runFig4(args []string, uniform bool) error {
 	cfg, format, err := fig4Flags(args)
 	if err != nil {
@@ -520,6 +586,10 @@ func runAll(args []string) error {
 	}
 	fmt.Println()
 	if err := runWeb(args); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runScale(args); err != nil {
 		return err
 	}
 	fmt.Println()

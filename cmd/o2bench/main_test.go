@@ -208,6 +208,101 @@ func TestWebJSONWorkerInvariance(t *testing.T) {
 	}
 }
 
+// goldenScaleConfig is a reduced, fully deterministic scale sweep that
+// still spans the interesting extremes: the 8-core Tiny8 machine and the
+// 256-core NUMA256 machine — the latter exercising the multi-word sharer
+// bitset and the saturating bandwidth meters under the sweep engine —
+// across both services and both policies, two repeats. It exists to pin
+// the `o2bench scale -json` schema and the big-machine determinism
+// contract (a NUMA256 cell must be a pure function of the grid), not to
+// reproduce full-scale numbers.
+func goldenScaleConfig() o2.ScaleConfig {
+	cfg := o2.QuickScaleConfig()
+	cfg.Machines = []o2.Topology{o2.Tiny8, o2.NUMA256}
+	cfg.DirsPerCore = 2
+	cfg.EntriesPerDir = 64
+	cfg.Params.Warmup = 100_000
+	cfg.Params.Measure = 200_000
+	cfg.ShardsPerCore = 1
+	cfg.SlotsPerShard = 32
+	cfg.Load.OpsPerClient = 30
+	cfg.Repeats = 2
+	cfg.Workers = 4
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestScaleJSONGolden pins the o2bench scale -json sweep schema and
+// values. If the schema or the simulation changes intentionally,
+// regenerate with `go test ./cmd/o2bench -run TestScaleJSONGolden
+// -update` and review the diff.
+func TestScaleJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitScale(&buf, goldenScaleConfig(), formatJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "scale_tiny.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("o2bench scale -json output drifted from %s.\nGot:\n%s\nWant:\n%s\nIf intentional, rerun with -update and review.",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestScaleJSONWorkerInvariance reruns the golden scale sweep at
+// -workers 1 and at -workers NumCPU and checks both byte streams match
+// the golden file exactly. This is the 256-core determinism gate: the
+// wide-directory fan-out, the bandwidth queueing, and the per-core
+// workload sizing must all be pure functions of the grid, never of the
+// host.
+func TestScaleJSONWorkerInvariance(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "scale_tiny.json"))
+	if err != nil {
+		t.Skip("golden file missing; TestScaleJSONGolden generates it")
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		cfg := goldenScaleConfig()
+		cfg.Workers = workers
+		var buf bytes.Buffer
+		if err := emitScale(&buf, cfg, formatJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("-workers=%d JSON differs from the golden (-workers=4) output", workers)
+		}
+	}
+}
+
+// TestScaleTableSmoke checks the scale table and CSV renderers on the
+// same sweep path.
+func TestScaleTableSmoke(t *testing.T) {
+	cfg := goldenScaleConfig()
+	var table, csv bytes.Buffer
+	if err := emitScale(&table, cfg, formatTable); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"machine", "service", "policy", "kops/sec/core", "numa256", "dirlookup", "±"} {
+		if !bytes.Contains(table.Bytes(), []byte(want)) {
+			t.Errorf("scale table output missing %q:\n%s", want, table.String())
+		}
+	}
+	if err := emitScale(&csv, cfg, formatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(csv.Bytes(), []byte("kops_per_sec,kops_stddev,per_core_kops,migrations")) {
+		t.Errorf("scale csv header drifted:\n%s", csv.String())
+	}
+}
+
 // TestWebTableSmoke checks the web table and CSV renderers on the same
 // sweep path.
 func TestWebTableSmoke(t *testing.T) {

@@ -205,9 +205,10 @@ func (rt *Runtime) Reset() {
 	clear(rt.inflight)
 	rt.procWeights = nil
 	rt.clusterSeq = 0
-	for i := range rt.mon.last {
-		rt.mon.last[i] = perfctr.Counters{}
-	}
+	// Empty (not zero) the monitor's snapshot history: the first pass
+	// after Reset must re-baseline exactly like a fresh runtime's first
+	// pass instead of computing deltas against zeroed counters.
+	rt.mon.last = rt.mon.last[:0]
 	rt.stats = Stats{}
 	rt.startMonitor()
 }

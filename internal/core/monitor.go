@@ -71,7 +71,10 @@ func (rt *Runtime) rebalance() {
 	rt.sys.FlushIdleAccounting()
 	mon := &rt.mon
 	mon.snaps = rt.mach.Counters().AppendSnapshots(mon.snaps[:0])
-	if mon.last == nil {
+	// The first pass of a run has no previous snapshot to delta against
+	// (len 0 rather than a nil check: Reset empties the slice but keeps
+	// its backing array, and must re-arm this first-pass behavior).
+	if len(mon.last) == 0 {
 		mon.last = append(mon.last, mon.snaps...)
 		rt.endWindow()
 		return

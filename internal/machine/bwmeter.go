@@ -1,0 +1,133 @@
+package machine
+
+import "repro/internal/sim"
+
+// bwMeter models a bandwidth-limited resource with windowed accounting:
+// time is divided into fixed windows, each admitting capacity transfers;
+// transfers beyond capacity are delayed by their overflow position times
+// the service interval.
+//
+// This formulation is deliberately order-independent in the access
+// timestamp: simulated threads batch memory accesses and issue them with
+// future-dated timestamps, so a cursor-style "next free slot" model would
+// let one thread's in-flight batch delay every other thread's
+// present-time accesses. Windowed demand counting charges queueing where
+// the demand lands in time, whatever order the simulator discovers it.
+//
+// # Saturating (deficit-carry) mode
+//
+// The windowed model resets demand at every window boundary: a resource
+// offered 2× its capacity forever charges each window's overflow but
+// never builds a backlog, so sustained saturation underestimates queueing
+// — exactly the regime the big-machine NUMA experiments need to expose.
+// With carry enabled, a window that ends over capacity hands its unserved
+// excess to the next accounted window as that window's starting demand,
+// drained at capacity transfers per intervening idle window. The carry is
+// computed in O(1) from the most recent accounted window (headWin) — no
+// per-event allocation, no scan.
+//
+// Carry trades the strict order-independence above for backlog fidelity:
+// a window's starting demand depends on which earlier windows were
+// already accounted when it was first touched. The simulation engine is
+// single-threaded and discovers accesses in a deterministic order, so
+// results remain exactly reproducible; the meters are reset by
+// Machine.Reset/FlushAll so arena-reused cells start from the same blank
+// state as a fresh machine. Presets that do not opt in (everything before
+// the NUMA family) keep the legacy window-local behavior bit for bit.
+type bwMeter struct {
+	window   sim.Cycles // accounting window length
+	service  sim.Cycles // cycles per transfer
+	capacity uint32     // transfers admitted per window without delay
+	carry    bool       // saturating mode: excess demand rolls forward
+	headWin  uint64     // carry mode: highest window index accounted so far
+	headSet  bool       // carry mode: whether headWin is valid
+	ring     [64]bwSlot
+}
+
+type bwSlot struct {
+	idx   uint64
+	count uint32
+}
+
+// bwWindow is the accounting window length in cycles.
+const bwWindow = 4096
+
+func newBWMeter(service sim.Cycles) bwMeter {
+	m := bwMeter{window: bwWindow, service: service}
+	if service > 0 {
+		m.capacity = uint32(bwWindow / service)
+	}
+	return m
+}
+
+// newSaturatingBWMeter is newBWMeter with deficit-carry accounting.
+func newSaturatingBWMeter(service sim.Cycles) bwMeter {
+	m := newBWMeter(service)
+	m.carry = true
+	return m
+}
+
+// reserve records one transfer at time at and returns its queueing delay.
+//
+//o2:hotpath
+func (b *bwMeter) reserve(at sim.Time) sim.Cycles {
+	if b.capacity == 0 {
+		return 0
+	}
+	w := uint64(at) / uint64(b.window)
+	slot := &b.ring[w%uint64(len(b.ring))]
+	if slot.idx != w {
+		start := uint32(0)
+		if b.carry {
+			start = b.carryInto(w)
+		}
+		slot.idx = w
+		slot.count = start
+	}
+	if b.carry && (!b.headSet || w > b.headWin) {
+		b.headWin = w
+		b.headSet = true
+	}
+	slot.count++
+	if slot.count <= b.capacity {
+		return 0
+	}
+	return sim.Cycles(slot.count-b.capacity) * b.service
+}
+
+// carryInto computes the backlog window w inherits from earlier demand:
+// the most recent accounted window's excess over capacity, minus capacity
+// transfers drained per idle window in between. O(1): only the head
+// window can carry forward (any other slot's window is older than head
+// and its excess has, by induction, already been folded into head's
+// starting count when head was first touched).
+//
+//o2:hotpath
+func (b *bwMeter) carryInto(w uint64) uint32 {
+	if !b.headSet || b.headWin >= w {
+		// Nothing accounted yet, or w is at/behind the head (an
+		// out-of-order timestamp into the past); backlog from even
+		// earlier windows was already folded forward when they were live.
+		return 0
+	}
+	src := b.headWin
+	s := &b.ring[src%uint64(len(b.ring))]
+	if s.idx != src || s.count <= b.capacity {
+		return 0
+	}
+	excess := uint64(s.count - b.capacity)
+	drained := (w - src - 1) * uint64(b.capacity)
+	if drained >= excess {
+		return 0
+	}
+	return uint32(excess - drained)
+}
+
+// reset clears all accounted demand and carry state.
+func (b *bwMeter) reset() {
+	for i := range b.ring {
+		b.ring[i] = bwSlot{}
+	}
+	b.headWin = 0
+	b.headSet = false
+}

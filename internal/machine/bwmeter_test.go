@@ -98,3 +98,74 @@ func TestBWMeterRingReuse(t *testing.T) {
 		t.Fatalf("ring slot leaked %d cycles of demand across windows", d)
 	}
 }
+
+// --- saturating (deficit-carry) mode ---
+
+func TestBWMeterCarryRollsBacklogForward(t *testing.T) {
+	// 512 transfers into window 0 (capacity 256) leave a 256-transfer
+	// backlog. The first transfer of window 1 must see that backlog as its
+	// starting demand: delay (256+1-256)*service = 16.
+	m := newSaturatingBWMeter(16)
+	for i := 0; i < 512; i++ {
+		m.reserve(0)
+	}
+	if d := m.reserve(sim.Time(bwWindow)); d != 16 {
+		t.Fatalf("first transfer after saturated window delayed %d, want 16", d)
+	}
+}
+
+func TestBWMeterCarryDrainsAtCapacityPerIdleWindow(t *testing.T) {
+	// Backlog 512 over capacity; after two fully idle windows (2×256
+	// drained) the meter must be clear again.
+	m := newSaturatingBWMeter(16)
+	for i := 0; i < 256+512; i++ {
+		m.reserve(0)
+	}
+	if d := m.reserve(sim.Time(3 * bwWindow)); d != 0 {
+		t.Fatalf("drained meter still delayed %d", d)
+	}
+	// One idle window drains only 256 of the 512: residual backlog 256.
+	m.reset()
+	for i := 0; i < 256+512; i++ {
+		m.reserve(0)
+	}
+	if d := m.reserve(sim.Time(2 * bwWindow)); d != sim.Cycles(257-256)*16 {
+		t.Fatalf("partially drained meter delayed %d, want 16", d)
+	}
+}
+
+func TestBWMeterCarryPastWindowUnaffected(t *testing.T) {
+	// Backlog never flows backward: demand accounted in window 2 must not
+	// delay a (late-discovered) access in window 1.
+	m := newSaturatingBWMeter(16)
+	for i := 0; i < 600; i++ {
+		m.reserve(sim.Time(2 * bwWindow))
+	}
+	if d := m.reserve(sim.Time(bwWindow)); d != 0 {
+		t.Fatalf("past window inherited %d cycles from future backlog", d)
+	}
+}
+
+func TestBWMeterCarryResetClearsBacklog(t *testing.T) {
+	m := newSaturatingBWMeter(16)
+	for i := 0; i < 10_000; i++ {
+		m.reserve(0)
+	}
+	m.reset()
+	if d := m.reserve(sim.Time(bwWindow)); d != 0 {
+		t.Fatalf("reset carry meter still delayed %d", d)
+	}
+}
+
+func TestBWMeterLegacyModeHasNoCarry(t *testing.T) {
+	// The default meter must keep window-local semantics: saturation in
+	// window 0 never leaks into window 1. This is what keeps the pre-NUMA
+	// presets' golden results byte-identical.
+	m := newBWMeter(16)
+	for i := 0; i < 10_000; i++ {
+		m.reserve(0)
+	}
+	if d := m.reserve(sim.Time(bwWindow)); d != 0 {
+		t.Fatalf("legacy meter carried %d cycles across windows", d)
+	}
+}

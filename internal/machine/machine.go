@@ -51,6 +51,11 @@ type Machine struct {
 
 	// dram[chip] meters the chip's memory-controller bandwidth.
 	dram []bwMeter
+	// link[chip] meters the chip's interconnect port: line transfers that
+	// leave the chip (remote-cache sourcing, remote-home DRAM fills)
+	// queue here when cross-socket traffic exceeds LinkServiceInterval.
+	// nil when the topology does not model interconnect bandwidth.
+	link []bwMeter
 
 	lineSize int
 
@@ -66,63 +71,13 @@ type Machine struct {
 	// scratchLines is reused by the invariant checks, which would
 	// otherwise allocate a fresh line set on every residency scan.
 	scratchLines []cache.Line
-}
 
-// bwMeter models a bandwidth-limited resource with windowed accounting:
-// time is divided into fixed windows, each admitting capacity transfers;
-// transfers beyond capacity are delayed by their overflow position times
-// the service interval.
-//
-// This formulation is deliberately order-independent in the access
-// timestamp: simulated threads batch memory accesses and issue them with
-// future-dated timestamps, so a cursor-style "next free slot" model would
-// let one thread's in-flight batch delay every other thread's
-// present-time accesses. Windowed demand counting charges queueing where
-// the demand lands in time, whatever order the simulator discovers it.
-type bwMeter struct {
-	window   sim.Cycles // accounting window length
-	service  sim.Cycles // cycles per transfer
-	capacity uint32     // transfers admitted per window without delay
-	ring     [64]bwSlot
-}
-
-type bwSlot struct {
-	idx   uint64
-	count uint32
-}
-
-func newBWMeter(service sim.Cycles) bwMeter {
-	const window = 4096
-	m := bwMeter{window: window, service: service}
-	if service > 0 {
-		m.capacity = uint32(window / service)
-	}
-	return m
-}
-
-// reserve records one transfer at time at and returns its queueing delay.
-func (b *bwMeter) reserve(at sim.Time) sim.Cycles {
-	if b.capacity == 0 {
-		return 0
-	}
-	w := uint64(at) / uint64(b.window)
-	slot := &b.ring[w%uint64(len(b.ring))]
-	if slot.idx != w {
-		slot.idx = w
-		slot.count = 0
-	}
-	slot.count++
-	if slot.count <= b.capacity {
-		return 0
-	}
-	return sim.Cycles(slot.count-b.capacity) * b.service
-}
-
-// reset clears all accounted demand.
-func (b *bwMeter) reset() {
-	for i := range b.ring {
-		b.ring[i] = bwSlot{}
-	}
+	// holderWords and invWords are per-machine scratch for the wide
+	// (>64-node) directory's word APIs, sized to dir.NumWords() at
+	// construction so the 256-core fan-out paths allocate nothing. Unused
+	// (nil) on narrow machines, which stay on the single-word fast path.
+	holderWords []uint64
+	invWords    []uint64
 }
 
 // New builds a machine from cfg with memBytes of simulated DRAM.
@@ -140,6 +95,13 @@ func NewWithMemLimit(cfg topology.Config, memBytes, memLimit int) (*Machine, err
 		return nil, err
 	}
 	n := cfg.NumCores()
+	if nodes := n + cfg.Chips; nodes > coherence.MaxNodes {
+		// Fail loudly here rather than panicking inside the directory:
+		// a machine too wide for the sharer bitset would silently alias
+		// holder bits and corrupt every coherence decision.
+		return nil, fmt.Errorf("machine: %d cores + %d chips = %d directory nodes exceeds the supported maximum %d",
+			n, cfg.Chips, nodes, coherence.MaxNodes)
+	}
 	m := &Machine{
 		cfg:      cfg,
 		img:      mem.NewImageWithLimit(memBytes, memLimit),
@@ -151,8 +113,22 @@ func NewWithMemLimit(cfg topology.Config, memBytes, memLimit int) (*Machine, err
 		dram:     make([]bwMeter, cfg.Chips),
 		lineSize: cfg.L1.LineSize,
 	}
+	newMeter := newBWMeter
+	if cfg.Lat.SaturatingBW {
+		newMeter = newSaturatingBWMeter
+	}
 	for i := range m.dram {
-		m.dram[i] = newBWMeter(cfg.Lat.DRAMServiceInterval)
+		m.dram[i] = newMeter(cfg.Lat.DRAMServiceInterval)
+	}
+	if cfg.Lat.LinkServiceInterval > 0 && cfg.Chips > 1 {
+		m.link = make([]bwMeter, cfg.Chips)
+		for i := range m.link {
+			m.link[i] = newMeter(cfg.Lat.LinkServiceInterval)
+		}
+	}
+	if w := m.dir.NumWords(); w > 1 {
+		m.holderWords = make([]uint64, w)
+		m.invWords = make([]uint64, w)
 	}
 	for i := 0; i < n; i++ {
 		m.l1[i] = cache.New(cfg.L1)
@@ -356,17 +332,39 @@ func (m *Machine) lookupShared(core int, l cache.Line, c *perfctr.Counters) (sim
 	return 0, false
 }
 
-// fetchMiss services a miss from the nearest remote cache or DRAM.
+// fetchMiss services a miss from the nearest remote cache or DRAM,
+// charging memory-controller and (when modeled) interconnect queueing on
+// top of the raw distance latency. Queueing cycles are attributed to the
+// requesting core's bw-stall counters so the monitor can see where
+// bandwidth, not distance, is the cost.
+//
+//o2:hotpath
 func (m *Machine) fetchMiss(core int, l cache.Line, write bool, at sim.Time, c *perfctr.Counters) sim.Cycles {
 	myChip := m.chipOf[core]
 	var lat sim.Cycles
 	if srcChip, found := m.nearestHolderChip(core, l); found {
 		lat = m.remoteLat[myChip][srcChip]
 		c.RemoteFetches++
+		if m.link != nil && srcChip != myChip {
+			// The line crosses the interconnect from the source chip's
+			// egress port.
+			q := m.link[srcChip].reserve(at)
+			lat += q
+			c.LinkQueueCycles += uint64(q)
+		}
 	} else {
 		home := m.homeChip(l)
-		lat = m.dramLat[myChip][home] + m.dramQueue(home, at)
+		q := m.dramQueue(home, at)
+		lat = m.dramLat[myChip][home] + q
 		c.DRAMLoads++
+		c.DRAMQueueCycles += uint64(q)
+		if m.link != nil && home != myChip {
+			// Remote-home fill: the line also transits the home chip's
+			// interconnect port on its way over.
+			lq := m.link[home].reserve(at)
+			lat += lq
+			c.LinkQueueCycles += uint64(lq)
+		}
 	}
 	m.installCore(core, l, false)
 	return lat
@@ -375,19 +373,51 @@ func (m *Machine) fetchMiss(core int, l cache.Line, write bool, at sim.Time, c *
 // nearestHolderChip finds the chip of the closest cache holding the line,
 // iterating holder bits directly (ascending node order, matching the
 // directory's fan-out order). The requesting core itself cannot be a
-// holder (it just missed).
+// holder (it just missed). Narrow machines read the single holder word
+// inline; wide machines copy the set into machine-owned scratch and scan
+// word by word — both allocation-free.
+//
+//o2:hotpath
 func (m *Machine) nearestHolderChip(core int, l cache.Line) (chip int, found bool) {
-	mask := m.dir.HolderMask(l)
-	if mask == 0 {
+	if m.holderWords == nil {
+		mask := m.dir.HolderMask(l)
+		if mask == 0 {
+			return 0, false
+		}
+		return m.nearestInWord(core, mask, 0), true
+	}
+	if !m.dir.CopyHolderWords(l, m.holderWords) {
 		return 0, false
 	}
+	myChip := m.chipOf[core]
+	best, bestDist := 0, int(^uint(0)>>1)
+	for w, mask := range m.holderWords {
+		if mask == 0 {
+			continue
+		}
+		c := m.nearestInWord(core, mask, w*64)
+		if d := m.hop[myChip][c]; d < bestDist {
+			best, bestDist = c, d
+			if d == 0 {
+				break
+			}
+		}
+	}
+	return best, true
+}
+
+// nearestInWord scans one non-zero holder word (nodes [base, base+64))
+// and returns the holder chip closest to core.
+//
+//o2:hotpath
+func (m *Machine) nearestInWord(core int, mask uint64, base int) (chip int) {
 	myChip := m.chipOf[core]
 	best, bestDist := 0, int(^uint(0)>>1)
 	ncores := m.ncores
 	hop := m.hop[myChip]
 	for mm := mask; mm != 0; {
-		node := bits.TrailingZeros64(mm)
-		mm &^= 1 << uint(node)
+		node := base + bits.TrailingZeros64(mm)
+		mm &= mm - 1
 		var holderChip int
 		if node < ncores {
 			holderChip = m.chipOf[node]
@@ -402,7 +432,7 @@ func (m *Machine) nearestHolderChip(core int, l cache.Line) (chip int, found boo
 			}
 		}
 	}
-	return best, true
+	return best
 }
 
 // dramQueue accounts one line transfer at chip's memory controller and
@@ -413,30 +443,51 @@ func (m *Machine) dramQueue(chip int, at sim.Time) sim.Cycles {
 
 // acquireOwnership makes core the sole holder after a write, invalidating
 // remote copies and marking the local line dirty. Returns the added cost.
-// The directory work is one fused AcquireExclusive probe; the returned
-// invalidation bitmask replaces the []Node the old write path allocated on
-// every contended store.
+// The directory work is one fused acquire-exclusive probe; the
+// invalidation set comes back as a bitmask (narrow) or as words written
+// into machine-owned scratch (wide), so no store ever allocates.
+//
+//o2:hotpath
 func (m *Machine) acquireOwnership(core int, l cache.Line, c *perfctr.Counters) sim.Cycles {
 	node := m.coreNode(core)
 	var extra sim.Cycles
-	if inv := m.dir.AcquireExclusive(l, node); inv != 0 {
+	if m.invWords == nil {
+		if inv := m.dir.AcquireExclusive(l, node); inv != 0 {
+			extra = m.cfg.Lat.InvalidateCost
+			c.Invalidations += uint64(bits.OnesCount64(inv))
+			m.invalidateWord(inv, 0, l)
+		}
+	} else if m.dir.AcquireExclusiveWords(l, node, m.invWords) {
 		extra = m.cfg.Lat.InvalidateCost
-		c.Invalidations += uint64(bits.OnesCount64(inv))
-		ncores := m.ncores
-		for inv != 0 {
-			n := bits.TrailingZeros64(inv)
-			inv &^= 1 << uint(n)
-			if n < ncores {
-				m.l1[n].Remove(l)
-				m.l2[n].Remove(l)
-			} else {
-				m.l3[n-ncores].Remove(l)
+		for w, inv := range m.invWords {
+			if inv == 0 {
+				continue
 			}
+			c.Invalidations += uint64(bits.OnesCount64(inv))
+			m.invalidateWord(inv, w*64, l)
 		}
 	}
 	m.l1[core].MarkDirty(l)
 	m.l2[core].MarkDirty(l)
 	return extra
+}
+
+// invalidateWord removes line l from every cache whose node bit is set in
+// one holder word covering nodes [base, base+64).
+//
+//o2:hotpath
+func (m *Machine) invalidateWord(inv uint64, base int, l cache.Line) {
+	ncores := m.ncores
+	for inv != 0 {
+		n := base + bits.TrailingZeros64(inv)
+		inv &= inv - 1
+		if n < ncores {
+			m.l1[n].Remove(l)
+			m.l2[n].Remove(l)
+		} else {
+			m.l3[n-ncores].Remove(l)
+		}
+	}
 }
 
 // installCore inserts a fetched line into core's L1 and L2, cascading
@@ -492,6 +543,9 @@ func (m *Machine) FlushAll() {
 	m.dir.Reset()
 	for i := range m.dram {
 		m.dram[i].reset()
+	}
+	for i := range m.link {
+		m.link[i].reset()
 	}
 }
 
@@ -560,14 +614,12 @@ func (m *Machine) checkDirectoryBacked() error {
 	lines = slices.Compact(lines)
 	m.scratchLines = lines
 	for _, l := range lines {
-		for mask := m.dir.HolderMask(l); mask != 0; {
-			n := bits.TrailingZeros64(mask)
-			mask &^= 1 << uint(n)
+		for _, n := range m.dir.Holders(l) {
 			var resident bool
-			if n < ncores {
+			if int(n) < ncores {
 				resident = m.l2[n].Contains(l)
 			} else {
-				resident = m.l3[n-ncores].Contains(l)
+				resident = m.l3[int(n)-ncores].Contains(l)
 			}
 			if !resident {
 				return fmt.Errorf("machine: directory says node %d holds line %d but no cache does", n, l)
@@ -607,7 +659,7 @@ func (m *Machine) Residency(obj *mem.Object) ResidencyReport {
 	first := cache.LineOf(obj.Base, ls)
 	last := cache.LineOf(obj.End()-1, ls)
 	for l := first; l <= last; l++ {
-		if m.dir.HolderMask(l) == 0 {
+		if !m.dir.HasHolders(l) {
 			r.DRAMBytes += ls
 		}
 	}

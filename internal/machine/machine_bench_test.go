@@ -68,3 +68,61 @@ func BenchmarkAccessRangeScan(b *testing.B) {
 		at += m.AccessRange(0, base, 512, false, at)
 	}
 }
+
+// wideFanOutMachine primes a NUMA256 machine so one line is shared by
+// every core, returning the machine and the writing core's next issue
+// time. Each benchmark iteration re-shares and re-collapses the set.
+func wideFanOutMachine(b *testing.B) (*Machine, sim.Time) {
+	b.Helper()
+	m := MustNew(topology.NUMA256(), 1<<24)
+	const addr = mem.Addr(4096)
+	at := sim.Time(0)
+	for core := 0; core < m.NumCores(); core++ {
+		at += sim.Time(m.Access(core, addr, false, at))
+	}
+	return m, at
+}
+
+// BenchmarkWideInvalidationFanOut measures the 256-core store slow path:
+// one write collapsing a holder set that spans all five directory words,
+// then the readers re-sharing the line. This is the path the multi-word
+// bitset keeps allocation-free; TestWideFanOutAllocs pins 0 allocs/op.
+func BenchmarkWideInvalidationFanOut(b *testing.B) {
+	m, at := wideFanOutMachine(b)
+	const addr = mem.Addr(4096)
+	ncores := m.NumCores()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at += sim.Time(m.Access(0, addr, true, at)) // invalidate all sharers
+		for core := 1; core < ncores; core++ {
+			at += sim.Time(m.Access(core, addr, false, at)) // re-share
+		}
+	}
+}
+
+// TestWideFanOutAllocs is the allocation gate on the 256-core
+// invalidation fan-out: the whole share/collapse cycle — wide directory
+// probes, word-scratch copies, cross-word cache invalidations — must not
+// allocate.
+func TestWideFanOutAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m := MustNew(topology.NUMA256(), 1<<24)
+	const addr = mem.Addr(4096)
+	var at sim.Time
+	for core := 0; core < m.NumCores(); core++ {
+		at += sim.Time(m.Access(core, addr, false, at))
+	}
+	ncores := m.NumCores()
+	allocs := testing.AllocsPerRun(50, func() {
+		at += sim.Time(m.Access(0, addr, true, at))
+		for core := 1; core < ncores; core++ {
+			at += sim.Time(m.Access(core, addr, false, at))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("wide invalidation fan-out allocates %.1f times per cycle, want 0", allocs)
+	}
+}

@@ -34,6 +34,14 @@ type Counters struct {
 	StallCycles uint64 // cycles stalled on memory (subset of BusyCycles)
 	QueueWait   uint64 // cycles threads spent waiting to run on this core
 
+	// DRAMQueueCycles and LinkQueueCycles split out the bandwidth-stall
+	// component of StallCycles: queueing delay this core's fetches accrued
+	// at saturated memory controllers and interconnect ports. On machines
+	// that never saturate they stay zero; at scale they are the signal
+	// that contention, not distance, is the binding cost.
+	DRAMQueueCycles uint64 // memory-controller queueing delay charged to this core
+	LinkQueueCycles uint64 // cross-socket interconnect queueing delay charged to this core
+
 	MigrationsIn  uint64 // threads that migrated to this core
 	MigrationsOut uint64 // threads that migrated away
 }
@@ -47,46 +55,50 @@ func (c Counters) Misses() uint64 { return c.L2Miss }
 // that occurred between two snapshots (e.g. between ct_start and ct_end).
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
-		Loads:         c.Loads - o.Loads,
-		Stores:        c.Stores - o.Stores,
-		L1Miss:        c.L1Miss - o.L1Miss,
-		L2Miss:        c.L2Miss - o.L2Miss,
-		L3Miss:        c.L3Miss - o.L3Miss,
-		L2Loads:       c.L2Loads - o.L2Loads,
-		L3Loads:       c.L3Loads - o.L3Loads,
-		RemoteFetches: c.RemoteFetches - o.RemoteFetches,
-		DRAMLoads:     c.DRAMLoads - o.DRAMLoads,
-		Invalidations: c.Invalidations - o.Invalidations,
-		Evictions:     c.Evictions - o.Evictions,
-		BusyCycles:    c.BusyCycles - o.BusyCycles,
-		IdleCycles:    c.IdleCycles - o.IdleCycles,
-		StallCycles:   c.StallCycles - o.StallCycles,
-		QueueWait:     c.QueueWait - o.QueueWait,
-		MigrationsIn:  c.MigrationsIn - o.MigrationsIn,
-		MigrationsOut: c.MigrationsOut - o.MigrationsOut,
+		Loads:           c.Loads - o.Loads,
+		Stores:          c.Stores - o.Stores,
+		L1Miss:          c.L1Miss - o.L1Miss,
+		L2Miss:          c.L2Miss - o.L2Miss,
+		L3Miss:          c.L3Miss - o.L3Miss,
+		L2Loads:         c.L2Loads - o.L2Loads,
+		L3Loads:         c.L3Loads - o.L3Loads,
+		RemoteFetches:   c.RemoteFetches - o.RemoteFetches,
+		DRAMLoads:       c.DRAMLoads - o.DRAMLoads,
+		Invalidations:   c.Invalidations - o.Invalidations,
+		Evictions:       c.Evictions - o.Evictions,
+		BusyCycles:      c.BusyCycles - o.BusyCycles,
+		IdleCycles:      c.IdleCycles - o.IdleCycles,
+		StallCycles:     c.StallCycles - o.StallCycles,
+		QueueWait:       c.QueueWait - o.QueueWait,
+		DRAMQueueCycles: c.DRAMQueueCycles - o.DRAMQueueCycles,
+		LinkQueueCycles: c.LinkQueueCycles - o.LinkQueueCycles,
+		MigrationsIn:    c.MigrationsIn - o.MigrationsIn,
+		MigrationsOut:   c.MigrationsOut - o.MigrationsOut,
 	}
 }
 
 // Add returns the element-wise sum, for machine-wide totals.
 func (c Counters) Add(o Counters) Counters {
 	return Counters{
-		Loads:         c.Loads + o.Loads,
-		Stores:        c.Stores + o.Stores,
-		L1Miss:        c.L1Miss + o.L1Miss,
-		L2Miss:        c.L2Miss + o.L2Miss,
-		L3Miss:        c.L3Miss + o.L3Miss,
-		L2Loads:       c.L2Loads + o.L2Loads,
-		L3Loads:       c.L3Loads + o.L3Loads,
-		RemoteFetches: c.RemoteFetches + o.RemoteFetches,
-		DRAMLoads:     c.DRAMLoads + o.DRAMLoads,
-		Invalidations: c.Invalidations + o.Invalidations,
-		Evictions:     c.Evictions + o.Evictions,
-		BusyCycles:    c.BusyCycles + o.BusyCycles,
-		IdleCycles:    c.IdleCycles + o.IdleCycles,
-		StallCycles:   c.StallCycles + o.StallCycles,
-		QueueWait:     c.QueueWait + o.QueueWait,
-		MigrationsIn:  c.MigrationsIn + o.MigrationsIn,
-		MigrationsOut: c.MigrationsOut + o.MigrationsOut,
+		Loads:           c.Loads + o.Loads,
+		Stores:          c.Stores + o.Stores,
+		L1Miss:          c.L1Miss + o.L1Miss,
+		L2Miss:          c.L2Miss + o.L2Miss,
+		L3Miss:          c.L3Miss + o.L3Miss,
+		L2Loads:         c.L2Loads + o.L2Loads,
+		L3Loads:         c.L3Loads + o.L3Loads,
+		RemoteFetches:   c.RemoteFetches + o.RemoteFetches,
+		DRAMLoads:       c.DRAMLoads + o.DRAMLoads,
+		Invalidations:   c.Invalidations + o.Invalidations,
+		Evictions:       c.Evictions + o.Evictions,
+		BusyCycles:      c.BusyCycles + o.BusyCycles,
+		IdleCycles:      c.IdleCycles + o.IdleCycles,
+		StallCycles:     c.StallCycles + o.StallCycles,
+		QueueWait:       c.QueueWait + o.QueueWait,
+		DRAMQueueCycles: c.DRAMQueueCycles + o.DRAMQueueCycles,
+		LinkQueueCycles: c.LinkQueueCycles + o.LinkQueueCycles,
+		MigrationsIn:    c.MigrationsIn + o.MigrationsIn,
+		MigrationsOut:   c.MigrationsOut + o.MigrationsOut,
 	}
 }
 

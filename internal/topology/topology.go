@@ -77,6 +77,21 @@ type Latencies struct {
 	// It is the knob that models limited off-chip bandwidth.
 	DRAMServiceInterval sim.Cycles
 
+	// LinkServiceInterval is the minimum spacing between line transfers
+	// one chip's interconnect port can sustain. Cross-socket fetches
+	// (remote-cache sourcing and remote-home DRAM fills) queue at the
+	// source chip's port when traffic exceeds it. Zero disables
+	// interconnect metering entirely — the pre-NUMA presets keep it zero,
+	// so their results are untouched by the bandwidth model.
+	LinkServiceInterval sim.Cycles
+
+	// SaturatingBW selects deficit-carry bandwidth accounting: demand a
+	// window leaves unserved rolls into later windows as backlog, so
+	// sustained overload builds queueing delay instead of resetting at
+	// every window boundary. Off (the default, and the pre-NUMA presets'
+	// setting) keeps the legacy window-local accounting bit for bit.
+	SaturatingBW bool
+
 	// InvalidateCost is added to a store that must invalidate remote
 	// sharers (coherence broadcast on the interconnect).
 	InvalidateCost sim.Cycles
@@ -123,6 +138,56 @@ func AMDLatencies() Latencies {
 		InvalidateCost:      40,
 	}
 }
+
+// NUMALatencies returns the latency set of the big-machine NUMA presets:
+// the paper's measured AMD latencies plus a modeled interconnect port
+// (LinkServiceInterval 8 ≈ 16 GB/s per port at 2 GHz and 64 B lines) and
+// saturating deficit-carry accounting on both the memory controllers and
+// the ports — at 64+ cores sustained overload, not per-window burstiness,
+// is the regime of interest.
+func NUMALatencies() Latencies {
+	l := AMDLatencies()
+	l.LinkServiceInterval = 8
+	l.SaturatingBW = true
+	return l
+}
+
+// numaConfig builds one member of the NUMA preset family: 8-core sockets
+// with AMD-style private caches and a large 8 MB shared victim L3 per
+// socket, on a gw×gh interconnect grid.
+func numaConfig(name string, chips, gw, gh int) Config {
+	return Config{
+		Name:         name,
+		Chips:        chips,
+		CoresPerChip: 8,
+		GridW:        gw,
+		GridH:        gh,
+		L1:           CacheGeom{Size: 64 << 10, LineSize: 64, Assoc: 2},
+		L2:           CacheGeom{Size: 512 << 10, LineSize: 64, Assoc: 16},
+		L3:           CacheGeom{Size: 8 << 20, LineSize: 64, Assoc: 32},
+		Lat:          NUMALatencies(),
+		ClockHz:      2e9,
+	}
+}
+
+// NUMA64 returns a 64-core NUMA machine: eight 8-core sockets on a 4×2
+// grid, per-core 64 KB L1 and 512 KB L2, per-socket 8 MB shared victim
+// L3, with socket-local vs remote DRAM distance and bandwidth modeled
+// (saturating memory controllers and interconnect ports; see
+// NUMALatencies). The smallest machine of the scale sweep's NUMA family.
+func NUMA64() Config { return numaConfig("numa64", 8, 4, 2) }
+
+// NUMA128 returns a 128-core NUMA machine: sixteen 8-core sockets on a
+// 4×4 grid, otherwise identical per-socket resources to NUMA64. Twice the
+// cores share the same per-socket DRAM and link bandwidth, so bandwidth
+// binds earlier.
+func NUMA128() Config { return numaConfig("numa128", 16, 4, 4) }
+
+// NUMA256 returns a 256-core NUMA machine: thirty-two 8-core sockets on
+// an 8×4 grid — the scale target of the big-machine experiments. Its 288
+// directory nodes exercise the multi-word sharer bitset; hop distances
+// reach 10, so placement and bandwidth both matter.
+func NUMA256() Config { return numaConfig("numa256", 32, 8, 4) }
 
 // AMD16 returns the paper's evaluation machine: four quad-core 2 GHz
 // Opteron chips on a square interconnect; per-core 64 KB L1 and 512 KB L2,

@@ -1,0 +1,151 @@
+package o2
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestScaleSweepDivergence pins the big-machine claim the scale sweep
+// exists to measure: on the dirlookup service with the working set sized
+// per core, CoreTime's speedup over the thread scheduler is decisively
+// larger on a 64-core NUMA machine — where the thread scheduler's
+// uniform sweeps saturate the per-socket memory controllers — than on
+// the paper's 16-core machine, where bandwidth never binds. The sweep is
+// deterministic, so the margins can be tight.
+func TestScaleSweepDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := QuickScaleConfig()
+	cfg.Services = []ScaleService{ScaleDirLookup}
+	cfg, sweep := ScaleSweep(cfg)
+	res, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := ScaleSpeedup(res, "amd16", "dirlookup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ScaleSpeedup(res, "numa64", "dirlookup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("CoreTime speedup: amd16 %.3f, numa64 %.3f", small, big)
+	if big <= 1.1 {
+		t.Errorf("CoreTime speedup on numa64 = %.3f, want > 1.1 (bandwidth saturation should bind)", big)
+	}
+	if big < small+0.2 {
+		t.Errorf("speedup margin numa64 %.3f vs amd16 %.3f: want the NUMA machine ahead by > 0.2", big, small)
+	}
+	// The per-core view of the same divergence: the thread scheduler's
+	// per-core throughput must collapse going 16 → 64 cores while
+	// CoreTime's holds (stays within 30% of its 16-core value).
+	basePerCore := func(machine string) float64 {
+		c := res.Cell(machine, "dirlookup", KVThreadScheduler.String())
+		return c.Mean("per_core_kops")
+	}
+	ctPerCore := func(machine string) float64 {
+		c := res.Cell(machine, "dirlookup", KVCoreTime.String())
+		return c.Mean("per_core_kops")
+	}
+	if got, was := basePerCore("numa64"), basePerCore("amd16"); got > 0.7*was {
+		t.Errorf("thread-scheduler per-core throughput %.1f at numa64 vs %.1f at amd16: expected a collapse (< 70%%)", got, was)
+	}
+	if got, was := ctPerCore("numa64"), ctPerCore("amd16"); got < 0.7*was {
+		t.Errorf("CoreTime per-core throughput %.1f at numa64 vs %.1f at amd16: expected it to hold (>= 70%%)", got, was)
+	}
+}
+
+// TestScaleCellNormalizes checks the runner's dispatch and the per-core
+// metric: a cell with a sized KV store runs the KV scenario, a cell
+// without one runs dirlookup, and both report per_core_kops equal to
+// their primary throughput divided by the machine's core count.
+func TestScaleCellNormalizes(t *testing.T) {
+	p := DefaultRunParams()
+	p.Threads = 8
+	p.Warmup = 100_000
+	p.Measure = 200_000
+	p.Seed = 5
+
+	dir := Cell{
+		Machine: Tiny8,
+		Tree:    DirSpec{Dirs: 16, EntriesPerDir: 64},
+		Params:  p,
+		Seed:    5,
+	}
+	m, err := ScaleCell(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["kres_per_sec"]; !ok {
+		t.Fatalf("dirlookup cell reported no kres_per_sec: %v", m)
+	}
+	if want := m["kres_per_sec"] / 8; math.Abs(m["per_core_kops"]-want) > 1e-9 {
+		t.Errorf("per_core_kops = %v, want %v", m["per_core_kops"], want)
+	}
+
+	kv := Cell{
+		Machine: Tiny8,
+		KV:      KVSpec{Shards: 8, SlotsPerShard: 32, SlotBytes: 64},
+		Load:    KVLoad{Clients: 8, OpsPerClient: 50},
+		Seed:    5,
+	}
+	m, err = ScaleCell(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["kops_per_sec"]; !ok {
+		t.Fatalf("kv cell reported no kops_per_sec: %v", m)
+	}
+	if want := m["kops_per_sec"] / 8; math.Abs(m["per_core_kops"]-want) > 1e-9 {
+		t.Errorf("per_core_kops = %v, want %v", m["per_core_kops"], want)
+	}
+}
+
+// TestScaleArenaRepeatsMatchFreshRuns extends the arena's
+// behavior-transparency pin to the big machines: on a NUMA topology
+// whose saturating bandwidth meters accumulate queueing state, repeats
+// that reuse the cell's runtime through an arena reset must still
+// produce exactly the metrics a fresh, arena-free run at the same seed
+// produces — i.e. Reset returns every meter to its built state.
+func TestScaleArenaRepeatsMatchFreshRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := QuickScaleConfig()
+	cfg.Machines = []Topology{NUMA64}
+	cfg.Policies = []KVPolicy{KVCoreTime}
+	cfg.Params.Warmup = 300_000
+	cfg.Params.Measure = 300_000
+	cfg.Load.OpsPerClient = 60
+	cfg.Seed = 23
+
+	const repeats = 3
+	_, sweep := ScaleSweep(cfg)
+	sweep.Repeats = repeats
+	sweep.Workers = 1
+	res, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, cell := range res.Cells {
+		for r := 0; r < repeats; r++ {
+			// A standalone cell has no arena, so this run builds a fresh
+			// runtime — the old per-repeat code path.
+			fresh := sweep.cells()[ci]
+			fresh.Repeat = r
+			fresh.Seed = CellSeed(sweep.Seed, fresh.Index, r)
+			fresh.Params.Seed = fresh.Seed
+			m, err := ScaleCell(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cell.Runs[r], m) {
+				t.Errorf("cell %v repeat %d: arena run %v != fresh run %v",
+					cell.Labels, r, cell.Runs[r], m)
+			}
+		}
+	}
+}
