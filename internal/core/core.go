@@ -106,6 +106,12 @@ type Runtime struct {
 	coreLoad []int64
 	budget   int64
 
+	// chipOf is the core→socket lookup table (topology.Config.ChipTable)
+	// the bandwidth-aware monitor rolls counters up with; nchips is the
+	// socket count.
+	chipOf []int
+	nchips int
+
 	// ops in flight, keyed by thread id (engine is single-threaded, so a
 	// plain map is safe).
 	inflight map[int][]*opCtx
@@ -154,6 +160,8 @@ type Stats struct {
 	ReplicaCollapse uint64 // replica sets collapsed by writes
 	Rejections      uint64 // placement attempts that found no space
 	Disperses       uint64 // threads moved off congested cores after ops
+	BWSpreadMoves   uint64 // objects moved off saturated sockets (BWSpread)
+	BWAdmitRefusals uint64 // placements refused by saturated-socket admission
 }
 
 // New creates a CoreTime runtime bound to sys. If opts.RebalanceInterval
@@ -167,6 +175,8 @@ func New(sys *exec.System, opts Options) *Runtime {
 		objs:     make(map[mem.Addr]*objInfo),
 		coreLoad: make([]int64, cfg.NumCores()),
 		budget:   int64(float64(cfg.PerCoreBudgetBytes()) * opts.BudgetFraction),
+		chipOf:   cfg.ChipTable(),
+		nchips:   cfg.Chips,
 		inflight: make(map[int][]*opCtx),
 	}
 	rt.startMonitor()
@@ -207,8 +217,16 @@ func (rt *Runtime) Reset() {
 	rt.clusterSeq = 0
 	// Empty (not zero) the monitor's snapshot history: the first pass
 	// after Reset must re-baseline exactly like a fresh runtime's first
-	// pass instead of computing deltas against zeroed counters.
+	// pass instead of computing deltas against zeroed counters. The
+	// bandwidth signals and window timestamp re-learn from blank state the
+	// same way.
 	rt.mon.last = rt.mon.last[:0]
+	rt.mon.lastAt = 0
+	rt.mon.bwInit = false
+	for i := range rt.mon.dramQ {
+		rt.mon.dramQ[i] = 0
+		rt.mon.linkQ[i] = 0
+	}
 	rt.stats = Stats{}
 	rt.startMonitor()
 }

@@ -157,6 +157,48 @@ func TestBWMeterCarryResetClearsBacklog(t *testing.T) {
 	}
 }
 
+func TestBWMeterCarryFarFutureCannotEvictLiveHead(t *testing.T) {
+	// Regression: a future-dated access ≥64 windows ahead aliases the
+	// head window's ring slot. Materializing it used to overwrite the
+	// live window's accumulated count and teleport headWin forward, so
+	// present-time accesses in the still-live window restarted from zero
+	// — the sustained-overload backlog silently vanished.
+	m := newSaturatingBWMeter(16) // capacity 256/window
+	for i := 0; i < 1000; i++ {
+		m.reserve(0) // window 0 live, 744 over capacity
+	}
+	// 128 ≡ 0 (mod 64): this aliases window 0's slot. At that horizon the
+	// backlog (744) has long drained (127 idle windows × 256), so it owes
+	// no delay — and it must not disturb window 0's live accounting.
+	if d := m.reserve(sim.Time(128 * bwWindow)); d != 0 {
+		t.Fatalf("far-future access over drained backlog delayed %d", d)
+	}
+	// Window 0 is still live: the next present-time access is transfer
+	// 1001, delayed (1001-256)*16 cycles — not a restart from count 1.
+	if d, want := m.reserve(0), sim.Cycles(1001-256)*16; d != want {
+		t.Fatalf("live window restarted after far-future alias: delay %d, want %d", d, want)
+	}
+	// And the carry into window 1 must still reflect the full backlog:
+	// starting demand 745, so the first transfer is delayed (746-256)*16.
+	if d, want := m.reserve(sim.Time(bwWindow)), sim.Cycles(746-256)*16; d != want {
+		t.Fatalf("carry after far-future alias = %d, want %d", d, want)
+	}
+}
+
+func TestBWMeterCarryFarFutureChargedAgainstBacklog(t *testing.T) {
+	// The beyond-horizon access is not free when the backlog genuinely
+	// reaches it: with service 2048 (capacity 2/window), an excess of 200
+	// drains at 2/window and still owes 200-(65-0-1)*2 = 72 transfers of
+	// queueing 65 windows out.
+	m := newSaturatingBWMeter(2048)
+	for i := 0; i < 202; i++ {
+		m.reserve(0)
+	}
+	if d, want := m.reserve(sim.Time(65*bwWindow)), sim.Cycles(73-2)*2048; d != want {
+		t.Fatalf("far-future access over live backlog delayed %d, want %d", d, want)
+	}
+}
+
 func TestBWMeterLegacyModeHasNoCarry(t *testing.T) {
 	// The default meter must keep window-local semantics: saturation in
 	// window 0 never leaks into window 1. This is what keeps the pre-NUMA

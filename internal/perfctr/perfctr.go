@@ -108,6 +108,23 @@ func (c Counters) String() string {
 		c.Loads, c.Stores, c.L2Miss, c.DRAMLoads, c.RemoteFetches, c.BusyCycles, c.IdleCycles)
 }
 
+// RollupGroups sums per-core counter files into per-group totals: core i's
+// counters are added into dst[groupOf[i]]. The caller supplies dst sized to
+// the group count (it is zeroed first) and a core→group table — typically
+// topology.Config.ChipTable, which makes this the per-socket rollup the
+// bandwidth-aware monitor classifies saturation with. dst is returned for
+// chaining; the call allocates nothing.
+func RollupGroups(dst, cores []Counters, groupOf []int) []Counters {
+	for i := range dst {
+		dst[i] = Counters{}
+	}
+	for i := range cores {
+		g := groupOf[i]
+		dst[g] = dst[g].Add(cores[i])
+	}
+	return dst
+}
+
 // Set is the counter file of a whole machine: one Counters per core.
 type Set struct {
 	cores []Counters

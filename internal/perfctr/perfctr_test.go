@@ -43,6 +43,102 @@ func TestAddSubRoundTrip(t *testing.T) {
 	}
 }
 
+func TestQueueCycleDeltaRoundTrip(t *testing.T) {
+	// The PR 8 bandwidth-stall counters must ride Sub/Add like every
+	// other field: snapshot deltas isolate a window's queueing delay, and
+	// Add(Sub) round-trips exactly.
+	s := NewSet(1)
+	s.Core(0).DRAMQueueCycles = 100
+	s.Core(0).LinkQueueCycles = 40
+	before := s.Snapshot(0)
+	s.Core(0).DRAMQueueCycles += 7000
+	s.Core(0).LinkQueueCycles += 123
+	delta := s.Snapshot(0).Sub(before)
+	if delta.DRAMQueueCycles != 7000 || delta.LinkQueueCycles != 123 {
+		t.Fatalf("queue-cycle delta = %+v", delta)
+	}
+	if got := before.Add(delta); got != s.Snapshot(0) {
+		t.Fatalf("Add(Sub) round trip drifted: %+v vs %+v", got, s.Snapshot(0))
+	}
+
+	f := func(a, b uint32) bool {
+		x := Counters{DRAMQueueCycles: uint64(a), LinkQueueCycles: uint64(a) * 3,
+			BusyCycles: uint64(a) + 1}
+		y := Counters{DRAMQueueCycles: uint64(b), LinkQueueCycles: uint64(b) * 3,
+			BusyCycles: uint64(b) + 1}
+		return x.Add(y).Sub(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubWrapsAroundSafely(t *testing.T) {
+	// Counters are uint64 and Sub is plain two's-complement subtraction,
+	// so a counter that wrapped past 2^64 between snapshots still yields
+	// the true event count — the standard wraparound-safe delta idiom real
+	// PMU readers rely on.
+	before := Counters{DRAMQueueCycles: ^uint64(0) - 5, LinkQueueCycles: ^uint64(0)}
+	after := before
+	after.DRAMQueueCycles += 10 // wraps to 4
+	after.LinkQueueCycles += 3  // wraps to 2
+	d := after.Sub(before)
+	if d.DRAMQueueCycles != 10 || d.LinkQueueCycles != 3 {
+		t.Fatalf("wrapped delta = %+v, want 10/3", d)
+	}
+}
+
+func TestRollupGroups(t *testing.T) {
+	// Four cores on two sockets (cores 0,1 → socket 0; cores 2,3 →
+	// socket 1): rollup sums per-core files into per-socket totals.
+	s := NewSet(4)
+	for i := 0; i < 4; i++ {
+		s.Core(i).BusyCycles = uint64(100 * (i + 1))
+		s.Core(i).DRAMQueueCycles = uint64(10 * (i + 1))
+		s.Core(i).LinkQueueCycles = uint64(i)
+	}
+	groupOf := []int{0, 0, 1, 1}
+	dst := make([]Counters, 2)
+	dst[0].Loads = 999 // stale scratch: RollupGroups must zero it
+	got := RollupGroups(dst, s.SnapshotAll(), groupOf)
+	if &got[0] != &dst[0] {
+		t.Fatal("RollupGroups must reuse the caller's dst")
+	}
+	if got[0].Loads != 0 {
+		t.Fatal("RollupGroups left stale scratch in dst")
+	}
+	if got[0].BusyCycles != 300 || got[1].BusyCycles != 700 {
+		t.Fatalf("busy rollup = %d/%d, want 300/700", got[0].BusyCycles, got[1].BusyCycles)
+	}
+	if got[0].DRAMQueueCycles != 30 || got[1].DRAMQueueCycles != 70 {
+		t.Fatalf("dram-queue rollup = %+v", got)
+	}
+	if got[0].LinkQueueCycles != 1 || got[1].LinkQueueCycles != 5 {
+		t.Fatalf("link-queue rollup = %+v", got)
+	}
+}
+
+func TestRollupGroupsDeltaComposition(t *testing.T) {
+	// Rollup of deltas equals delta of rollups: the monitor may aggregate
+	// either before or after subtracting snapshots.
+	groupOf := []int{0, 1, 0}
+	a := []Counters{{DRAMQueueCycles: 5}, {DRAMQueueCycles: 7}, {LinkQueueCycles: 2}}
+	b := []Counters{{DRAMQueueCycles: 11}, {DRAMQueueCycles: 7}, {LinkQueueCycles: 9}}
+	deltas := make([]Counters, 3)
+	for i := range deltas {
+		deltas[i] = b[i].Sub(a[i])
+	}
+	viaDeltas := RollupGroups(make([]Counters, 2), deltas, groupOf)
+	ra := RollupGroups(make([]Counters, 2), a, groupOf)
+	rb := RollupGroups(make([]Counters, 2), b, groupOf)
+	for g := 0; g < 2; g++ {
+		if viaDeltas[g] != rb[g].Sub(ra[g]) {
+			t.Fatalf("group %d: rollup/delta order matters: %+v vs %+v",
+				g, viaDeltas[g], rb[g].Sub(ra[g]))
+		}
+	}
+}
+
 func TestTotal(t *testing.T) {
 	s := NewSet(3)
 	for i := 0; i < 3; i++ {

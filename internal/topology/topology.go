@@ -251,6 +251,18 @@ func (c Config) NumCores() int { return c.Chips * c.CoresPerChip }
 // ChipOf returns the chip that core belongs to.
 func (c Config) ChipOf(core int) int { return core / c.CoresPerChip }
 
+// ChipTable returns a freshly allocated core→chip lookup table:
+// table[core] == ChipOf(core). Monitors that roll per-core counters up to
+// per-socket totals every rebalance interval build this once and index it
+// on the hot path instead of re-deriving the division.
+func (c Config) ChipTable() []int {
+	table := make([]int, c.NumCores())
+	for core := range table {
+		table[core] = c.ChipOf(core)
+	}
+	return table
+}
+
 // CoresOf returns the core IDs belonging to chip, in ascending order.
 func (c Config) CoresOf(chip int) []int {
 	cores := make([]int, c.CoresPerChip)
