@@ -80,11 +80,13 @@ func BenchmarkWebCellArena(b *testing.B) {
 	}
 }
 
-// BenchmarkSoakDrive measures the direct-handoff drive per request: the
-// unit cost behind `o2bench soak`, where a million requests flow through
-// one chained arrival event and a parked-worker wait list.
-func BenchmarkSoakDrive(b *testing.B) {
-	rt := o2.MustNew(o2.WithTopology(o2.Tiny8), o2.WithSeed(7))
+// soakDrive is the shared body of the SoakDrive benchmarks: the
+// direct-handoff drive per request — the unit cost behind `o2bench
+// soak`, where a million requests flow through one chained arrival event
+// and a parked-worker wait list. Extra options select the telemetry
+// variants.
+func soakDrive(b *testing.B, opts ...o2.Option) {
+	rt := o2.MustNew(append([]o2.Option{o2.WithTopology(o2.Tiny8), o2.WithSeed(7)}, opts...)...)
 	svc, err := rt.NewWebService(o2.WebSpec{DocRoots: 24, FilesPerRoot: 128})
 	if err != nil {
 		b.Fatal(err)
@@ -104,5 +106,70 @@ func BenchmarkSoakDrive(b *testing.B) {
 	}
 	if res.Completed == 0 {
 		b.Fatal("benchmark served nothing")
+	}
+}
+
+// BenchmarkSoakDrive is the telemetry-off baseline: 0 allocs/request
+// (pinned by TestSoakDriveAllocFree and BENCH_engine2.json).
+func BenchmarkSoakDrive(b *testing.B) {
+	soakDrive(b)
+}
+
+// BenchmarkSoakDriveTelemetry is the same drive with the telemetry
+// sampler probing every 20k cycles: the enabled overhead recorded in
+// BENCH_engine2.json. The probe path is allocation-free (o2lint
+// hotalloc-enforced), so the delta is pure sampling CPU.
+func BenchmarkSoakDriveTelemetry(b *testing.B) {
+	soakDrive(b, o2.WithTelemetry(20_000))
+}
+
+// TestSoakDriveAllocFree pins the acceptance criterion that telemetry —
+// off or on — adds 0 allocs/request on the soak drive. Per-run setup
+// (the arrival schedule, worker spawns, histogram warm-up) allocates a
+// small request-count-independent amount, so driving 20k requests and
+// asserting a small per-run total proves the per-request path is
+// allocation-free.
+func TestSoakDriveAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting needs the full drive")
+	}
+	const requests = 20_000
+	for _, tc := range []struct {
+		name string
+		opts []o2.Option
+	}{
+		{"telemetry-off", nil},
+		{"telemetry-on", []o2.Option{o2.WithTelemetry(20_000)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := o2.MustNew(append([]o2.Option{o2.WithTopology(o2.Tiny8), o2.WithSeed(7)}, tc.opts...)...)
+			svc, err := rt.NewWebService(o2.WebSpec{DocRoots: 24, FilesPerRoot: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			load := o2.ServiceLoad{
+				Requests: requests, RPS: 1_000_000, Skew: 0.99, Seed: 7,
+				DirectHandoff: true,
+			}
+			// Warm once: scratch tables, pools, and recorder capacity reach
+			// their steady state on the first run.
+			if _, err := svc.Run(load); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(1, func() {
+				if _, err := svc.Run(load); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// The per-run constant covers the arrival-schedule slices and
+			// the 8 worker/compactor thread spawns: measured at exactly 118
+			// whether the drive carries 5k, 20k, or 80k requests — hence 0
+			// allocs amortized per request.
+			const perRunBudget = 150
+			if allocs > perRunBudget {
+				t.Fatalf("%s: %v allocs for a %d-request drive (budget %d): the per-request path allocates",
+					tc.name, allocs, requests, perRunBudget)
+			}
+		})
 	}
 }

@@ -24,6 +24,9 @@
 //	o2bench scale [-quick] [-seed N] [-workers N] [-repeats N] [-json]
 //	                                    big-machine sweep: 16-256 cores ×
 //	                                    service × policy on the NUMA family
+//	o2bench trace [-quick] [-seed N] [-interval C] [-out FILE]
+//	                                    telemetry timeline of one open-loop
+//	                                    cell as Chrome trace-event JSON
 //	o2bench latency                     §5 latency table
 //	o2bench migration [-trials N]       §5 migration cost (≈2000 cycles)
 //	o2bench ablation -exp=NAME          clustering|replication|replacement|
@@ -128,6 +131,8 @@ func run(cmd string, args []string) error {
 		return runSoak(args)
 	case "scale":
 		return runScale(args)
+	case "trace":
+		return runTrace(args)
 	case "latency":
 		return runLatency()
 	case "migration":
@@ -168,6 +173,10 @@ func usage() {
   o2bench scale [-quick] [-seed N] [-workers N] [-repeats N] [-json|-csv]
                                      big-machine sweep: 16-256 cores x service x policy,
                                      per-core working sets, saturating NUMA bandwidth
+  o2bench trace [-quick] [-seed N] [-interval C] [-out FILE]
+                                     telemetry timeline: one open-loop NUMA256 cell under
+                                     bandwidth-aware CoreTime, exported as Chrome trace-event
+                                     JSON for chrome://tracing / Perfetto
   o2bench latency                    hardware latency table (§5)
   o2bench migration [-trials N]      migration cost microbenchmark (§5)
   o2bench ablation -exp=NAME         clustering|replication|replacement|migcost|hetero|paths|single|all

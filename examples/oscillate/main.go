@@ -105,7 +105,15 @@ func main() {
 		s.Ops, s.Migrations, s.Placements, s.Unplacements, s.ObjectsMoved)
 
 	if *dumpTrace {
-		fmt.Printf("\nlast %d scheduler decisions (cycle, kind, subject):\n", len(rt.TraceEvents()))
-		rt.DumpTrace(os.Stdout)
+		evs, err := rt.TraceEvents()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nlast %d scheduler decisions (cycle, kind, subject):\n", len(evs))
+		if _, err := rt.DumpTrace(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

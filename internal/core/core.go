@@ -237,6 +237,29 @@ func (rt *Runtime) Name() string { return "coretime" }
 // Stats returns a copy of the runtime counters.
 func (rt *Runtime) Stats() Stats { return rt.stats }
 
+// FillTelemetry fills the telemetry sampler's per-sample scheduler view:
+// placed[i] becomes the number of objects currently placed on core i, and
+// dram/link receive the monitor's smoothed per-socket bandwidth signals
+// (zero until the first monitor window computes them). Slice lengths are
+// the caller's; extra entries are left zeroed, so a sampler built for a
+// different view cannot index out of range.
+//
+//o2:hotpath
+func (rt *Runtime) FillTelemetry(placed []int32, dram, link []float64) {
+	for i := range placed {
+		placed[i] = 0
+	}
+	for _, oi := range rt.objs {
+		if oi.placed && oi.core < len(placed) {
+			placed[oi.core]++
+		}
+	}
+	for s := 0; s < len(dram) && s < len(link) && s < len(rt.mon.dramQ); s++ {
+		dram[s] = rt.mon.dramQ[s]
+		link[s] = rt.mon.linkQ[s]
+	}
+}
+
 // Budget returns the per-core packing budget in bytes.
 func (rt *Runtime) Budget() int64 { return rt.budget }
 

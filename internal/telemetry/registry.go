@@ -1,0 +1,159 @@
+// Package telemetry is the deterministic observability layer of the
+// simulated system: a metrics registry subsystems publish named
+// counters and gauges into, a sampler that snapshots per-core and
+// per-socket state on the simulated clock into ring-buffered time
+// series, and a Chrome trace-event exporter that renders those series —
+// merged with the scheduler's decision trace — as a timeline.
+//
+// Everything here rides the simulation: samples are taken by engine
+// events, timestamps are simulated cycles, and no host clock or host
+// concurrency is consulted, so telemetry output is a pure function of
+// (configuration, seed) like every other result in the repository.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Metric is one named reading of the registry: a counter's current count
+// or a gauge's current value.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Counter is a monotonically increasing event count owned by one
+// subsystem. Counters are cheap enough for per-request paths: Add on a
+// nil counter is a no-op, so callers wired to an optional registry never
+// need a guard.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Add increments the counter by n. Nil counters are safe to Add on.
+//
+//o2:hotpath
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// gauge is a pull metric: read is consulted at snapshot time, so gauges
+// cost nothing on the paths they observe.
+type gauge struct {
+	name string
+	read func() float64
+}
+
+// Registry is the enumerable metrics surface of one runtime. Subsystems
+// register at build time; Snapshot and WriteJSON enumerate every metric
+// in sorted name order, so the surface is deterministic however
+// registration interleaved.
+type Registry struct {
+	counters []*Counter
+	byName   map[string]*Counter
+	gauges   []gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Repeat registrations share one counter, so two services on
+// one runtime aggregate rather than collide. A nil registry returns a
+// nil counter, which is safe to Add on.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.byName[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.byName[name] = c
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers read under name, replacing any previous gauge with the
+// same name (a rebuilt subsystem re-registers over its predecessor).
+func (r *Registry) Gauge(name string, read func() float64) {
+	if r == nil {
+		return
+	}
+	for i := range r.gauges {
+		if r.gauges[i].name == name {
+			r.gauges[i].read = read
+			return
+		}
+	}
+	r.gauges = append(r.gauges, gauge{name: name, read: read})
+}
+
+// ResetCounters zeroes every registered counter, for arena-style reuse:
+// a reused runtime's counters must read exactly like a fresh build's.
+// Gauges need no reset — they read live state.
+func (r *Registry) ResetCounters() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counters {
+		c.v = 0
+	}
+}
+
+// Snapshot returns every registered metric, sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
+	for _, c := range r.counters {
+		out = append(out, Metric{Name: c.name, Value: float64(c.v)})
+	}
+	for _, g := range r.gauges {
+		out = append(out, Metric{Name: g.name, Value: g.read()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON dumps the registry as one JSON object, keys sorted, stable
+// bytes for equal state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	ms := r.Snapshot()
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, m := range ms {
+		sep := ","
+		if i == len(ms)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "  %q: %s%s\n",
+			m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64), sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

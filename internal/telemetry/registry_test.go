@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCounterNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(5) // must not panic
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	var r *Registry
+	if r.Counter("x") != nil {
+		t.Fatal("nil registry must hand out nil counters")
+	}
+	r.Gauge("g", func() float64 { return 1 }) // must not panic
+	r.ResetCounters()
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry Snapshot must be nil")
+	}
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("svc.requests")
+	b := r.Counter("svc.requests")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(3)
+	b.Add(4)
+	if got := a.Value(); got != 7 {
+		t.Fatalf("shared counter = %d, want 7", got)
+	}
+	if a.Name() != "svc.requests" {
+		t.Fatalf("counter name = %q", a.Name())
+	}
+}
+
+func TestGaugeReplace(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth", func() float64 { return 1 })
+	r.Gauge("depth", func() float64 { return 2 })
+	ms := r.Snapshot()
+	if len(ms) != 1 {
+		t.Fatalf("re-registering a gauge must replace, got %d metrics", len(ms))
+	}
+	if ms[0].Value != 2 {
+		t.Fatalf("gauge reads %v, want the replacement's 2", ms[0].Value)
+	}
+}
+
+func TestSnapshotSortedAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Gauge("m.middle", func() float64 { return 3 })
+	ms := r.Snapshot()
+	if !sort.SliceIsSorted(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name }) {
+		t.Fatalf("snapshot not sorted: %+v", ms)
+	}
+	r.ResetCounters()
+	for _, m := range r.Snapshot() {
+		if strings.HasPrefix(m.Name, "m.") {
+			continue // gauges are live state, not reset
+		}
+		if m.Value != 0 {
+			t.Fatalf("counter %s = %v after ResetCounters, want 0", m.Name, m.Value)
+		}
+	}
+}
+
+func TestWriteJSONStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	var s1, s2 strings.Builder
+	if err := r.WriteJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("WriteJSON not stable:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+	want := "{\n  \"a\": 1,\n  \"b\": 2\n}\n"
+	if s1.String() != want {
+		t.Fatalf("WriteJSON = %q, want %q", s1.String(), want)
+	}
+}

@@ -184,3 +184,16 @@ func (t *Tracer) Dump(w io.Writer) {
 		fmt.Fprintln(w, ev.String())
 	}
 }
+
+// Reset discards every retained event and restarts the emission counter,
+// so a reused traced runtime records exactly like a freshly built one.
+// The ring's backing array is kept. Reset on a nil tracer is a no-op.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.wrapped = false
+	t.total = 0
+}

@@ -25,10 +25,11 @@ type cellArena struct {
 // can be rolled back. A runtime whose previous repeat was truncated by a
 // time limit still has live threads and pending events; resetting it
 // would corrupt the simulation, so such repeats rebuild from scratch.
-// Traced runtimes are never reused: the tracer accumulates events across
-// runs and a repeat must not see its predecessor's decisions.
+// Traced and telemetry-enabled runtimes reuse like any other:
+// resetForRepeat clears the tracer ring, registry counters, and sampler
+// series along with the rest of the run state.
 func (ar *cellArena) reusable() bool {
-	return ar != nil && ar.rt != nil && ar.rt.tracer == nil &&
+	return ar != nil && ar.rt != nil &&
 		ar.rt.eng.Live() == 0 && ar.rt.eng.Pending() == 0
 }
 

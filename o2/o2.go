@@ -41,6 +41,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -199,6 +200,11 @@ const (
 	EvCollapse  TraceKind = trace.EvCollapse
 	EvRebalance TraceKind = trace.EvRebalance
 )
+
+// Metric is one named reading of the runtime's metrics registry (see
+// Runtime.Metrics): a subsystem counter's current count or a gauge's
+// current value.
+type Metric = telemetry.Metric
 
 // RNG is the deterministic, splittable random number generator simulated
 // workloads use; identical seeds give identical runs.

@@ -19,6 +19,11 @@ type settings struct {
 	ct       core.Options
 	traceCap int
 
+	// telInterval > 0 enables the telemetry sampler at that period; see
+	// WithTelemetry.
+	telInterval Cycles
+	telCap      int // sampler ring capacity in samples; 0 = default
+
 	errs []error // accumulated option errors, reported by New
 }
 
@@ -205,6 +210,32 @@ func WithTrace(capacity int) Option {
 			return
 		}
 		s.traceCap = capacity
+	}
+}
+
+// WithTelemetry enables the deterministic telemetry sampler: every
+// interval simulated cycles the runtime snapshots per-core busy/idle/
+// dead-time fractions, per-socket DRAM and interconnect queueing deltas,
+// run-queue and service-queue depths, and CoreTime placement counts into
+// ring-buffered time series. Runtime.WriteTimeline renders the series —
+// merged with the scheduler trace — as a chrome://tracing-loadable
+// timeline. Because sampling rides the simulated clock, telemetry output
+// is a pure function of (configuration, seed): byte-identical at any
+// host worker count, like every other result.
+//
+// Telemetry implies tracing: when no WithTrace capacity was chosen, a
+// default-capacity scheduler trace is enabled so the timeline has
+// decision events to merge.
+func WithTelemetry(interval Cycles) Option {
+	return func(s *settings) {
+		if interval <= 0 {
+			s.errorf("o2: telemetry interval %d must be positive", interval)
+			return
+		}
+		s.telInterval = interval
+		if s.traceCap <= 0 {
+			s.traceCap = defaultTelemetryTraceCap
+		}
 	}
 }
 

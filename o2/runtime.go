@@ -33,6 +33,7 @@ type Runtime struct {
 	ann    sched.Annotator
 	ct     *core.Runtime // nil under the Baseline scheduler
 	tracer *trace.Tracer
+	tel    runtimeTelemetry
 }
 
 // New builds a Runtime from functional options. With no options it models
@@ -99,6 +100,7 @@ func (rt *Runtime) ensure(minImage int) error {
 	default:
 		rt.ann = sched.ThreadScheduler{}
 	}
+	rt.initTelemetry()
 	return nil
 }
 
@@ -131,6 +133,7 @@ func (rt *Runtime) resetForRepeat(seed uint64, mark mem.ImageMark) {
 	default:
 		rt.ann = sched.ThreadScheduler{}
 	}
+	rt.resetTelemetry()
 }
 
 // mustEnsure is ensure for paths that cannot return an error; after New's
@@ -282,23 +285,27 @@ func (rt *Runtime) SchedStats() SchedStats {
 	return rt.ct.Stats()
 }
 
-// TraceEvents returns the recorded scheduler decisions (empty unless the
-// runtime was built with WithTrace).
-func (rt *Runtime) TraceEvents() []TraceEvent {
+// TraceEvents returns the recorded scheduler decisions. It returns
+// ErrTraceDisabled on a runtime built without WithTrace (or
+// WithTelemetry, which implies it) — distinct from a nil, error-free
+// result, which means tracing was on but nothing has been recorded yet.
+func (rt *Runtime) TraceEvents() ([]TraceEvent, error) {
 	if rt.tracer == nil {
-		return nil
+		return nil, ErrTraceDisabled
 	}
-	return rt.tracer.Events()
+	return rt.tracer.Events(), nil
 }
 
 // DumpTrace writes the recorded scheduler decisions to w and returns how
-// many were written.
-func (rt *Runtime) DumpTrace(w io.Writer) int {
+// many were written. Like TraceEvents, it returns ErrTraceDisabled when
+// the runtime records no trace, so callers can tell "tracing off" from
+// "no events yet".
+func (rt *Runtime) DumpTrace(w io.Writer) (int, error) {
 	if rt.tracer == nil {
-		return 0
+		return 0, ErrTraceDisabled
 	}
 	rt.tracer.Dump(w)
-	return len(rt.tracer.Events())
+	return len(rt.tracer.Events()), nil
 }
 
 // Object is a registered region of simulated memory the scheduler can

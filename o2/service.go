@@ -17,7 +17,11 @@ package o2
 // interference the related real-time scheduling literature says is where
 // multicore schedulers differentiate.
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Default WebSpec dimensions: enough vhosts to exceed one chip's cache on
 // the paper's machine while fitting the aggregate.
@@ -89,6 +93,17 @@ type WebService struct {
 	// Zipf table), so a sweep's arena-reused repeats reach a steady state
 	// that allocates almost nothing per run. Zero value is ready to use.
 	scratch svcScratch
+
+	// Registry counters for the request path (see Runtime.Metrics). Two
+	// services on one runtime share them, aggregating their traffic.
+	arrivedC *telemetry.Counter
+	droppedC *telemetry.Counter
+	servedC  *telemetry.Counter
+
+	// state is the most recent Run's driver bookkeeping; the
+	// service.queue_depth gauge and the telemetry sampler read the live
+	// bounded-queue depth through it.
+	state *svcState
 }
 
 // NewWebService formats the document tree inside the runtime's memory
@@ -103,7 +118,23 @@ func (rt *Runtime) NewWebService(spec WebSpec) (*WebService, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WebService{rt: rt, spec: spec, tree: tree}, nil
+	s := &WebService{rt: rt, spec: spec, tree: tree}
+	s.arrivedC = rt.counter("service.requests_arrived")
+	s.droppedC = rt.counter("service.requests_dropped")
+	s.servedC = rt.counter("service.requests_served")
+	rt.tel.reg.Gauge("service.queue_depth", func() float64 {
+		if s.state == nil {
+			return 0
+		}
+		return float64(s.state.count)
+	})
+	rt.tel.queueDepth = func() int {
+		if s.state == nil {
+			return 0
+		}
+		return s.state.count
+	}
+	return s, nil
 }
 
 // Spec returns the service's resolved dimensions.

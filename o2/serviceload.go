@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -235,6 +236,12 @@ type svcState struct {
 	dropped  int
 	served   int
 	idle     sched.WaitList // parked workers (DirectHandoff only)
+
+	// Registry counters mirroring the ints above; nil-safe to Add on, so
+	// a driver built outside a service (tests) pays nothing.
+	arrivedC *telemetry.Counter
+	droppedC *telemetry.Counter
+	servedC  *telemetry.Counter
 }
 
 // finished reports whether every offered request has been served or
@@ -248,8 +255,10 @@ func (st *svcState) finished() bool { return st.served+st.dropped == len(st.arri
 func (st *svcState) enqueueNext() {
 	i := st.arrived
 	st.arrived++
+	st.arrivedC.Add(1)
 	if st.count == len(st.ring) {
 		st.dropped++
+		st.droppedC.Add(1)
 		return
 	}
 	st.ring[(st.head+st.count)%len(st.ring)] = int32(i)
@@ -382,7 +391,9 @@ func (s *WebService) Run(load ServiceLoad) (ServiceResult, error) {
 		reqFile[i] = int32(contentRNG.Intn(s.spec.FilesPerRoot))
 	}
 
-	st := &svcState{arrivals: arrivals, ring: make([]int32, load.QueueCap)}
+	st := &svcState{arrivals: arrivals, ring: make([]int32, load.QueueCap),
+		arrivedC: s.arrivedC, droppedC: s.droppedC, servedC: s.servedC}
+	s.state = st
 	if load.DirectHandoff {
 		// Chained arrivals: each arrival enqueues, wakes one parked
 		// worker, and schedules the next arrival, so the engine carries a
@@ -441,6 +452,7 @@ func (s *WebService) Run(load ServiceLoad) (ServiceResult, error) {
 				s.Resolve(t, int(reqRoot[i]), int(reqFile[i]))
 				rec.record(float64(t.Now() - st.arrivals[i]))
 				st.served++
+				st.servedC.Add(1)
 				if t.Now() > done {
 					done = t.Now()
 				}

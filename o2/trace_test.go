@@ -31,9 +31,13 @@ func TestTraceKindIsNamableThroughFacade(t *testing.T) {
 	rt.Run()
 
 	// Both the type and the constants must be reachable under o2 names.
+	evs, err := rt.TraceEvents()
+	if err != nil {
+		t.Fatalf("TraceEvents on a traced runtime: %v", err)
+	}
 	var seen []o2.TraceKind
 	places := 0
-	for _, ev := range rt.TraceEvents() {
+	for _, ev := range evs {
 		seen = append(seen, ev.Kind)
 		if ev.Kind == o2.EvPlace {
 			places++
